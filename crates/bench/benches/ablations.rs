@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices DESIGN.md calls out: bloom
+//! filters, write pipelining, WAL placement, and block-cache size. Each
+//! measures *virtual-time* throughput of a fixed small workload (reported
+//! via the measured wall time of the simulation, which is proportional to
+//! simulated event count — lower is better).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use xlsm_core::casestudy::nvm_wal::{apply_wal_placement, WalPlacement};
+use xlsm_device::{profiles, SimDevice};
+use xlsm_engine::{Db, DbOptions};
+use xlsm_simfs::{FsOptions, SimFs};
+use xlsm_sim::Runtime;
+use xlsm_workload::{fill_db, run_workload, KeyDistribution, WorkloadSpec};
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        key_count: 2 << 10,
+        value_size: 512,
+        write_fraction: 0.5,
+        threads: 2,
+        duration: Duration::from_millis(200),
+        seed: 77,
+        burst: None,
+        distribution: KeyDistribution::Uniform,
+    }
+}
+
+/// Runs the fixed workload under `opts`, returning simulated kop/s (the
+/// virtual-time metric the ablation actually cares about).
+fn run_sim(opts: DbOptions) -> f64 {
+    let s = spec();
+    Runtime::new().run(move || {
+        let fs = SimFs::new(
+            SimDevice::shared(profiles::optane_900p()) as _,
+            FsOptions::default(),
+        );
+        let db = Arc::new(Db::open(fs, opts).unwrap());
+        fill_db(&db, s.key_count, s.value_size, s.seed).unwrap();
+        let r = run_workload(&db, &s);
+        db.close();
+        r.kops()
+    })
+}
+
+fn ablation_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bloom");
+    for bits in [0usize, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                run_sim(DbOptions {
+                    bloom_bits_per_key: bits,
+                    ..DbOptions::default()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_pipelined_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pipelined_write");
+    for pipelined in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pipelined),
+            &pipelined,
+            |b, &p| {
+                b.iter(|| {
+                    run_sim(DbOptions {
+                        pipelined_write: p,
+                        ..DbOptions::default()
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablation_wal_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wal_placement");
+    for placement in [
+        WalPlacement::SameDevice,
+        WalPlacement::Nvm,
+        WalPlacement::Disabled,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(placement.label()),
+            &placement,
+            |b, &p| {
+                b.iter(|| {
+                    let s = spec();
+                    Runtime::new().run(move || {
+                        let fs = SimFs::new(
+                            SimDevice::shared(profiles::optane_900p()) as _,
+                            FsOptions::default(),
+                        );
+                        let (opts, _nvm) = apply_wal_placement(DbOptions::default(), p);
+                        let db = Arc::new(Db::open(fs, opts).unwrap());
+                        fill_db(&db, s.key_count, s.value_size, s.seed).unwrap();
+                        let r = run_workload(&db, &s);
+                        db.close();
+                        r.kops()
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablation_block_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_block_cache");
+    for cap in [64usize << 10, 1 << 20, 8 << 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap >> 10), &cap, |b, &cap| {
+            b.iter(|| {
+                run_sim(DbOptions {
+                    block_cache_capacity: cap,
+                    ..DbOptions::default()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
+    targets = ablation_bloom, ablation_pipelined_write, ablation_wal_placement, ablation_block_cache
+}
+criterion_main!(benches);

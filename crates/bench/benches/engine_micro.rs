@@ -1,0 +1,158 @@
+//! Criterion microbenchmarks for the engine's core data structures.
+//!
+//! These measure *host* execution speed of the implementation (the figure
+//! harness measures *virtual-time* behavior); they exist to catch
+//! performance regressions in the substrate itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use xlsm_engine::bloom::BloomFilter;
+use xlsm_engine::crc32c::crc32c;
+use xlsm_engine::memtable::MemTable;
+use xlsm_engine::types::ValueType;
+use xlsm_engine::{Histogram, WriteBatch};
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memtable");
+    g.bench_function("insert_1k", |b| {
+        b.iter_batched(
+            || MemTable::new(0),
+            |m| {
+                for i in 0..1000u64 {
+                    m.add(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), b"value");
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let filled = MemTable::new(0);
+    for i in 0..10_000u64 {
+        filled.add(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), b"value");
+    }
+    g.bench_function("get_hit_10k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            filled.get(format!("key{i:08}").as_bytes(), u64::MAX >> 8)
+        });
+    });
+    g.bench_function("get_miss_10k", |b| {
+        b.iter(|| filled.get(b"absent-key", u64::MAX >> 8));
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..4096u32).map(|i| format!("key{i:08}").into_bytes()).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let mut g = c.benchmark_group("bloom");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("build_4k_keys", |b| {
+        b.iter(|| BloomFilter::new(10).build(&refs));
+    });
+    let filter = BloomFilter::new(10).build(&refs);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("probe", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            BloomFilter::may_contain(&filter, &keys[i])
+        });
+    });
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xA5u8; 4096];
+    let mut g = c.benchmark_group("crc32c");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("4k_block", |b| b.iter(|| crc32c(&data)));
+    g.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_batch");
+    g.bench_function("encode_100_puts", |b| {
+        b.iter(|| {
+            let mut batch = WriteBatch::new();
+            for i in 0..100u32 {
+                batch.put(format!("key{i:06}").as_bytes(), b"some-value-payload");
+            }
+            batch.set_sequence(1);
+            batch.byte_size()
+        });
+    });
+    let mut batch = WriteBatch::new();
+    for i in 0..100u32 {
+        batch.put(format!("key{i:06}").as_bytes(), b"some-value-payload");
+    }
+    batch.set_sequence(1);
+    let bytes = batch.data().to_vec();
+    g.bench_function("decode_100_puts", |b| {
+        b.iter(|| WriteBatch::from_data(&bytes).unwrap());
+    });
+    g.bench_function("apply_100_puts", |b| {
+        b.iter_batched(
+            || MemTable::new(0),
+            |m| batch.apply_to(&m).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let h = Histogram::new();
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v % 1_000_000);
+        });
+    });
+    for _ in 0..100_000 {
+        h.record(rand_like(&h));
+    }
+    g.bench_function("quantile_p99", |b| b.iter(|| h.quantile(0.99)));
+    g.finish();
+}
+
+fn rand_like(h: &Histogram) -> u64 {
+    // Cheap varying input derived from current count.
+    (h.count().wrapping_mul(2654435761)) % 2_000_000
+}
+
+fn bench_sim_scheduler(c: &mut Criterion) {
+    // Meta-benchmark: cost of a virtual-time context switch (two threads
+    // ping-ponging via sleeps). This is the constant that converts simulated
+    // event counts into wall time for the figure harness.
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("switch_1000", |b| {
+        b.iter(|| {
+            xlsm_sim::Runtime::new().run(|| {
+                let h = xlsm_sim::spawn("pong", || {
+                    for _ in 0..500 {
+                        xlsm_sim::sleep_nanos(10);
+                    }
+                });
+                for _ in 0..500 {
+                    xlsm_sim::sleep_nanos(10);
+                }
+                h.join();
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_memtable,
+    bench_bloom,
+    bench_crc,
+    bench_batch,
+    bench_histogram,
+    bench_sim_scheduler
+);
+criterion_main!(benches);

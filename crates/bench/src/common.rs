@@ -1,0 +1,154 @@
+//! Shared configuration and run helpers for the figure harnesses.
+
+use std::time::Duration;
+use xlsm_core::experiment::Testbed;
+use xlsm_device::DeviceProfile;
+use xlsm_engine::DbOptions;
+use xlsm_sim::Runtime;
+use xlsm_workload::{fill_db, run_workload, WorkloadResult, WorkloadSpec};
+
+/// Global knobs for a figure run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Dataset size in keys (values are 1 KiB).
+    pub key_count: u64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Measurement window per data point.
+    pub duration: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            key_count: 48 << 10, // ≈ 48 MiB dataset
+            value_size: 1024,
+            duration: Duration::from_secs(3),
+            seed: 0xF16,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A fast configuration for smoke tests (`figures --quick`, CI).
+    pub fn quick() -> BenchConfig {
+        BenchConfig {
+            key_count: 8 << 10,
+            value_size: 512,
+            duration: Duration::from_millis(800),
+            seed: 0xF16,
+        }
+    }
+
+    /// Reads `XLSM_QUICK=1` from the environment.
+    pub fn from_env() -> BenchConfig {
+        if std::env::var("XLSM_QUICK").map(|v| v == "1").unwrap_or(false) {
+            BenchConfig::quick()
+        } else {
+            BenchConfig::default()
+        }
+    }
+
+    /// Dataset bytes.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.key_count * (self.value_size as u64 + 16)
+    }
+
+    /// The base workload spec for this config.
+    pub fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            key_count: self.key_count,
+            value_size: self.value_size,
+            duration: self.duration,
+            seed: self.seed,
+            ..WorkloadSpec::default()
+        }
+    }
+}
+
+/// The three devices of the study, in presentation order.
+pub fn devices() -> Vec<DeviceProfile> {
+    xlsm_device::profiles::paper_devices()
+}
+
+/// Builds a testbed, fills it, and runs `specs` back to back (reusing the
+/// filled database), returning one result per spec. Runs in its own sim
+/// runtime.
+pub fn run_sequence(
+    profile: DeviceProfile,
+    opts: DbOptions,
+    cfg: &BenchConfig,
+    specs: Vec<WorkloadSpec>,
+) -> Vec<WorkloadResult> {
+    let cfg = *cfg;
+    Runtime::new().run(move || {
+        let tb = Testbed::new(profile, opts, cfg.dataset_bytes()).expect("testbed");
+        fill_db(&tb.db, cfg.key_count, cfg.value_size, cfg.seed).expect("fill");
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            out.push(run_workload(&tb.db, spec));
+            // Let the LSM settle between points so each measurement starts
+            // from a comparable shape (like separate db_bench invocations).
+            tb.db.flush().expect("flush");
+            tb.db.wait_for_compactions();
+        }
+        tb.close();
+        out
+    })
+}
+
+/// Like [`run_one`] but the options are constructed *inside* the sim
+/// runtime (needed when they carry sim-bound resources such as an NVM
+/// filesystem for the WAL).
+pub fn run_one_with_opts(
+    profile: DeviceProfile,
+    make_opts: impl FnOnce() -> DbOptions + Send + 'static,
+    cfg: &BenchConfig,
+    spec: WorkloadSpec,
+) -> WorkloadResult {
+    let cfg = *cfg;
+    Runtime::new().run(move || {
+        let tb = Testbed::new(profile, make_opts(), cfg.dataset_bytes()).expect("testbed");
+        fill_db(&tb.db, cfg.key_count, cfg.value_size, cfg.seed).expect("fill");
+        let r = run_workload(&tb.db, &spec);
+        tb.close();
+        r
+    })
+}
+
+/// One-spec convenience wrapper around [`run_sequence`].
+pub fn run_one(
+    profile: DeviceProfile,
+    opts: DbOptions,
+    cfg: &BenchConfig,
+    spec: WorkloadSpec,
+) -> WorkloadResult {
+    run_sequence(profile, opts, cfg, vec![spec])
+        .pop()
+        .expect("one result")
+}
+
+/// Runs a closure inside a fresh testbed (fill included), for figures that
+/// need custom instrumentation beyond a plain workload result.
+pub fn with_testbed<T: Send + 'static>(
+    profile: DeviceProfile,
+    opts: DbOptions,
+    cfg: &BenchConfig,
+    body: impl FnOnce(&Testbed) -> T + Send + 'static,
+) -> T {
+    let cfg = *cfg;
+    Runtime::new().run(move || {
+        let tb = Testbed::new(profile, opts, cfg.dataset_bytes()).expect("testbed");
+        fill_db(&tb.db, cfg.key_count, cfg.value_size, cfg.seed).expect("fill");
+        let out = body(&tb);
+        tb.close();
+        out
+    })
+}
+
+/// Short device label for table rows.
+pub fn label(profile: &DeviceProfile) -> &'static str {
+    profile.kind.label()
+}

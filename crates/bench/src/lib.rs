@@ -1,0 +1,26 @@
+//! # xlsm-bench — regenerates every figure of the ISPASS'20 paper.
+//!
+//! Each `figNN` function reproduces one evaluation figure at the study's
+//! scaled geometry and returns printable [`xlsm_core::report::Table`]s (also written as TSV by
+//! the `figures` binary). Figure groups that share a parameter sweep expose
+//! a combined function so `figures all` pays for each sweep once.
+//!
+//! | Function | Paper figure | Content |
+//! |----------|--------------|---------|
+//! | [`fig01`] | Fig. 1  | raw vs KV speedup, SATA → XPoint |
+//! | [`fig03`] | Fig. 3  | throughput vs insertion ratio |
+//! | [`fig04_to_07`] | Figs. 4–7 | timelines + latency @5 %, 90 % writes |
+//! | [`fig08_to_12`] | Figs. 8–10, 12 | Level-0 geometry sweep |
+//! | [`fig13_to_16`] | Figs. 13–16 | parallelism sweep + interference |
+//! | [`fig17`] | Fig. 17 | WAL on/off write latency |
+//! | [`fig18`] | Fig. 18 | two-stage throttling under bursts |
+//! | [`fig19`] | Fig. 19 | dynamic Level-0 management |
+//! | [`fig20`] | Fig. 20 | WAL placement: SSD vs NVM vs disabled |
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod figures;
+
+pub use common::BenchConfig;
+pub use figures::*;

@@ -1,0 +1,5 @@
+//! The three case studies of Section V.
+
+pub mod dynamic_l0;
+pub mod nvm_wal;
+pub mod two_stage;

@@ -1,0 +1,109 @@
+//! Case study V-A: **two-stage throttling** removes the near-stop situation.
+//!
+//! The original policy jumps straight from "no throttling" to the full
+//! adaptive Algorithm 1 at `level0_slowdown_writes_trigger`, letting the
+//! adaptive rate spiral down to a few kop/s during periodic write bursts
+//! (the "flash of crowd" near-stop in Fig. 5/18). The two-stage variant:
+//!
+//! * **Stage 1 — slight throttling**: at the slowdown trigger, rate-limit
+//!   conservatively, never below a user-set floor (`min_rate`).
+//! * **Stage 2 — aggressive throttling**: only when L0 grows past
+//!   `(slowdown_threshold + stop_threshold) / 2` does the full Algorithm 1
+//!   adaptation apply.
+
+use xlsm_engine::controller::{StallLevel, StallSignals, ThrottlePolicy};
+use xlsm_engine::options::DbOptions;
+
+/// The two-stage policy of Section V-A.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoStageThrottlePolicy {
+    /// Stage-1 rate floor in bytes/s ("the maximum acceptable
+    /// delayed_write_rate").
+    pub min_rate: u64,
+}
+
+impl TwoStageThrottlePolicy {
+    /// Creates the policy with the given stage-1 floor.
+    pub fn new(min_rate: u64) -> TwoStageThrottlePolicy {
+        TwoStageThrottlePolicy { min_rate }
+    }
+
+    /// The stage-2 threshold: `(slowdown + stop) / 2`.
+    pub fn stage2_threshold(opts: &DbOptions) -> usize {
+        (opts.level0_slowdown_writes_trigger + opts.level0_stop_writes_trigger) / 2
+    }
+}
+
+impl ThrottlePolicy for TwoStageThrottlePolicy {
+    fn evaluate(&self, sig: &StallSignals, opts: &DbOptions) -> StallLevel {
+        if sig.memtables > opts.max_write_buffer_number {
+            return StallLevel::Stop;
+        }
+        if sig.l0_files >= opts.level0_stop_writes_trigger {
+            return StallLevel::Stop;
+        }
+        if sig.l0_files >= Self::stage2_threshold(opts) {
+            return StallLevel::Delay;
+        }
+        if sig.l0_files >= opts.level0_slowdown_writes_trigger {
+            return StallLevel::GentleDelay {
+                min_rate: self.min_rate,
+            };
+        }
+        StallLevel::Clear
+    }
+
+    fn name(&self) -> &'static str {
+        "two-stage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(l0: usize) -> StallSignals {
+        StallSignals {
+            l0_files: l0,
+            memtables: 2,
+            pending_compaction_bytes: 0,
+            compacted_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn stages_follow_thresholds() {
+        let opts = DbOptions::default(); // slowdown 20, stop 36 → stage2 at 28
+        let p = TwoStageThrottlePolicy::new(8 << 20);
+        assert_eq!(p.evaluate(&sig(10), &opts), StallLevel::Clear);
+        assert_eq!(
+            p.evaluate(&sig(20), &opts),
+            StallLevel::GentleDelay { min_rate: 8 << 20 }
+        );
+        assert_eq!(
+            p.evaluate(&sig(27), &opts),
+            StallLevel::GentleDelay { min_rate: 8 << 20 }
+        );
+        assert_eq!(p.evaluate(&sig(28), &opts), StallLevel::Delay);
+        assert_eq!(p.evaluate(&sig(36), &opts), StallLevel::Stop);
+    }
+
+    #[test]
+    fn memtable_pressure_still_stops() {
+        let opts = DbOptions::default();
+        let p = TwoStageThrottlePolicy::new(1);
+        let s = StallSignals {
+            l0_files: 0,
+            memtables: 3,
+            pending_compaction_bytes: 0,
+            compacted_bytes: 0,
+        };
+        assert_eq!(p.evaluate(&s, &opts), StallLevel::Stop);
+    }
+
+    #[test]
+    fn stage2_threshold_matches_paper_formula() {
+        let opts = DbOptions::default();
+        assert_eq!(TwoStageThrottlePolicy::stage2_threshold(&opts), 28);
+    }
+}

@@ -1,0 +1,33 @@
+//! # xlsm-core — the ISPASS'20 study: bottleneck analyses and case studies
+//!
+//! This crate is the paper's *contribution* layer, sitting on top of the
+//! engine/device/workload substrates:
+//!
+//! * [`model`] — the analytic throttling model of Section IV-A
+//!   (Equations 1–2): predicted application-level throughput once the write
+//!   controller engages, explaining why throttled throughput collapses to a
+//!   hardware-independent level.
+//! * [`casestudy::two_stage`] — case study V-A: the two-stage throttling
+//!   policy that removes the near-stop situation under periodic write
+//!   bursts.
+//! * [`casestudy::dynamic_l0`] — case study V-B: dynamic Level-0 management
+//!   that adapts memtable/L0-file size to the observed read/write ratio
+//!   (+13 % throughput at 90 % reads in the paper).
+//! * [`casestudy::nvm_wal`] — case study V-C: relocating the WAL to
+//!   byte-addressable NVM (−18.8 % p90 write latency in the paper).
+//! * [`experiment`] — testbed assembly (device → filesystem → engine) with
+//!   the paper's scaled geometry, shared by every figure harness.
+//! * [`report`] — table/TSV emission for the figure binaries.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod casestudy;
+pub mod experiment;
+pub mod model;
+pub mod report;
+
+pub use casestudy::dynamic_l0::DynamicL0Manager;
+pub use casestudy::two_stage::TwoStageThrottlePolicy;
+pub use experiment::{scaled_db_options, scaled_fs_options, Testbed};
+pub use model::throttled_throughput_kops;

@@ -1,0 +1,118 @@
+//! Plain-text tables and TSV emission for the figure harnesses.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Writes the table as TSV (with a `#` title line) to `path`, creating
+    /// parent directories.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the host filesystem.
+    pub fn write_tsv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.headers.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "\n== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with the given precision (helper for figure rows).
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Fig X", &["device", "kops"]);
+        t.row(vec!["sata-flash".into(), f(26.0, 1)]);
+        t.row(vec!["3d-xpoint".into(), f(408.12, 1)]);
+        let s = t.to_string();
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("sata-flash"));
+        assert!(s.contains("408.1"));
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = Table::new("Fig Y", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("xlsm-report-test");
+        let path = dir.join("fig_y.tsv");
+        t.write_tsv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "# Fig Y\na\tb\n1\t2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

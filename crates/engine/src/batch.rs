@@ -1,0 +1,269 @@
+//! Write batches: the atomic unit of the write path and the WAL payload.
+//!
+//! Encoding (LevelDB-compatible in spirit):
+//! `[sequence u64][count u32]` then per op `[tag u8][key][value?]` with
+//! length-prefixed slices.
+
+use crate::coding::*;
+use crate::error::{DbError, DbResult};
+use crate::memtable::MemTable;
+use crate::types::{SequenceNumber, ValueType};
+
+const HEADER: usize = 12;
+
+/// A batch of updates applied atomically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteBatch {
+    rep: Vec<u8>,
+    count: u32,
+}
+
+impl Default for WriteBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch {
+            rep: vec![0; HEADER],
+            count: 0,
+        }
+    }
+
+    /// Queues a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.rep.push(ValueType::Value as u8);
+        put_length_prefixed(&mut self.rep, key);
+        put_length_prefixed(&mut self.rep, value);
+        self.count += 1;
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.rep.push(ValueType::Deletion as u8);
+        put_length_prefixed(&mut self.rep, key);
+        self.count += 1;
+    }
+
+    /// Empties the batch.
+    pub fn clear(&mut self) {
+        self.rep.truncate(HEADER);
+        self.rep.fill(0);
+        self.count = 0;
+    }
+
+    /// Number of operations queued.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the serialized representation in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Stamps the starting sequence number (done by the group leader).
+    pub fn set_sequence(&mut self, seq: SequenceNumber) {
+        self.rep[0..8].copy_from_slice(&seq.to_le_bytes());
+        self.rep[8..12].copy_from_slice(&self.count.to_le_bytes());
+    }
+
+    /// The starting sequence number.
+    pub fn sequence(&self) -> SequenceNumber {
+        u64::from_le_bytes(self.rep[0..8].try_into().unwrap())
+    }
+
+    /// Serialized bytes (WAL payload).
+    pub fn data(&self) -> &[u8] {
+        &self.rep
+    }
+
+    /// Reconstructs a batch from serialized bytes (WAL replay).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] if the payload is malformed.
+    pub fn from_data(data: &[u8]) -> DbResult<WriteBatch> {
+        if data.len() < HEADER {
+            return Err(DbError::Corruption("batch shorter than header".into()));
+        }
+        let b = WriteBatch {
+            rep: data.to_vec(),
+            count: u32::from_le_bytes(data[8..12].try_into().unwrap()),
+        };
+        // Validate structure eagerly.
+        let mut n = 0;
+        for op in b.iter() {
+            op?;
+            n += 1;
+        }
+        if n != b.count {
+            return Err(DbError::Corruption(format!(
+                "batch count mismatch: header {} actual {n}",
+                b.count
+            )));
+        }
+        Ok(b)
+    }
+
+    /// Iterates the operations as `(type, key, value)`.
+    pub fn iter(&self) -> BatchIter<'_> {
+        BatchIter {
+            data: &self.rep,
+            off: HEADER,
+        }
+    }
+
+    /// Applies all operations to `mem`, assigning consecutive sequence
+    /// numbers starting at the batch's stamped sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] if the payload is malformed.
+    pub fn apply_to(&self, mem: &MemTable) -> DbResult<()> {
+        let mut seq = self.sequence();
+        for op in self.iter() {
+            let (t, key, value) = op?;
+            mem.add(seq, t, key, value);
+            seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Merges `other`'s operations into `self` (group commit).
+    pub fn append_batch(&mut self, other: &WriteBatch) {
+        self.rep.extend_from_slice(&other.rep[HEADER..]);
+        self.count += other.count;
+    }
+}
+
+/// Iterator over batch operations.
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    data: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = DbResult<(ValueType, &'a [u8], &'a [u8])>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.off >= self.data.len() {
+            return None;
+        }
+        let tag = self.data[self.off];
+        self.off += 1;
+        let t = match tag {
+            0 => ValueType::Deletion,
+            1 => ValueType::Value,
+            _ => return Some(Err(DbError::Corruption(format!("bad batch tag {tag}")))),
+        };
+        let Some(key) = get_length_prefixed(self.data, &mut self.off) else {
+            return Some(Err(DbError::Corruption("bad batch key".into())));
+        };
+        let value = if t == ValueType::Value {
+            match get_length_prefixed(self.data, &mut self.off) {
+                Some(v) => v,
+                None => return Some(Err(DbError::Corruption("bad batch value".into()))),
+            }
+        } else {
+            &[]
+        };
+        Some(Ok((t, key, value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_delete_roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.delete(b"b");
+        b.put(b"c", b"3");
+        b.set_sequence(100);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.sequence(), 100);
+        let ops: Vec<_> = b.iter().map(|o| o.unwrap()).collect();
+        assert_eq!(
+            ops,
+            vec![
+                (ValueType::Value, &b"a"[..], &b"1"[..]),
+                (ValueType::Deletion, &b"b"[..], &b""[..]),
+                (ValueType::Value, &b"c"[..], &b"3"[..]),
+            ]
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put(b"key", b"value");
+        b.delete(b"gone");
+        b.set_sequence(7);
+        let decoded = WriteBatch::from_data(b.data()).unwrap();
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn corrupt_data_rejected() {
+        assert!(WriteBatch::from_data(b"short").is_err());
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        b.set_sequence(1);
+        let mut bytes = b.data().to_vec();
+        bytes[HEADER] = 9; // bad tag
+        assert!(WriteBatch::from_data(&bytes).is_err());
+        // Count mismatch.
+        let mut bytes2 = b.data().to_vec();
+        bytes2[8] = 5;
+        assert!(WriteBatch::from_data(&bytes2).is_err());
+    }
+
+    #[test]
+    fn apply_to_memtable_assigns_sequences() {
+        let mem = MemTable::new(0);
+        let mut b = WriteBatch::new();
+        b.put(b"x", b"1");
+        b.put(b"x", b"2");
+        b.set_sequence(10);
+        b.apply_to(&mem).unwrap();
+        // Sequence 11 (the second put) wins at the latest snapshot.
+        assert_eq!(mem.get(b"x", 100), Some(Some(b"2".to_vec())));
+        assert_eq!(mem.get(b"x", 10), Some(Some(b"1".to_vec())));
+    }
+
+    #[test]
+    fn append_batch_groups() {
+        let mut leader = WriteBatch::new();
+        leader.put(b"a", b"1");
+        let mut follower = WriteBatch::new();
+        follower.delete(b"b");
+        follower.put(b"c", b"2");
+        leader.append_batch(&follower);
+        leader.set_sequence(1);
+        assert_eq!(leader.count(), 3);
+        let mem = MemTable::new(0);
+        leader.apply_to(&mem).unwrap();
+        assert_eq!(mem.get(b"c", 100), Some(Some(b"2".to_vec())));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.byte_size(), HEADER);
+    }
+}

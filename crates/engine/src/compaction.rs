@@ -1,0 +1,392 @@
+//! Leveled compaction: picking and execution.
+//!
+//! * **L0 → L1**: all Level-0 files (their ranges overlap) merge with the
+//!   overlapping L1 files.
+//! * **Ln → Ln+1** (n ≥ 1): a cursor walks the level round-robin; the picked
+//!   file merges with its overlapping Ln+1 files. A file with no overlap is
+//!   *trivially moved* (metadata-only).
+//!
+//! Obsolete versions of a user key are dropped when invisible to every
+//! active snapshot; deletion tombstones are additionally dropped when the
+//! output level is bottommost for their key range.
+
+use crate::costs;
+use crate::db::TableCache;
+use crate::error::DbResult;
+use crate::iterator::{InternalIterator, LevelIterator, MergingIterator};
+use crate::options::DbOptions;
+use crate::sst::{sst_file_name, TableBuilder};
+use crate::stats::{DbStats, Ticker};
+use crate::types::{self, SequenceNumber, ValueType};
+use crate::version::{FileMetaData, Version, VersionEdit};
+use std::collections::HashSet;
+use std::sync::Arc;
+use xlsm_simfs::SimFs;
+
+/// A picked compaction: inputs at `level` and overlapping files at
+/// `output_level`.
+#[derive(Debug)]
+pub struct CompactionTask {
+    /// Input level.
+    pub level: usize,
+    /// Destination level.
+    pub output_level: usize,
+    /// Files taken from `level`.
+    pub inputs: Vec<Arc<FileMetaData>>,
+    /// Overlapping files taken from `output_level`.
+    pub inputs_next: Vec<Arc<FileMetaData>>,
+    /// Metadata-only move (single input, no overlap).
+    pub is_trivial_move: bool,
+    /// Whether deletion tombstones may be dropped (bottommost range).
+    pub can_drop_tombstones: bool,
+}
+
+impl CompactionTask {
+    /// All input file numbers.
+    pub fn input_numbers(&self) -> Vec<u64> {
+        self.inputs
+            .iter()
+            .chain(self.inputs_next.iter())
+            .map(|f| f.number)
+            .collect()
+    }
+
+    /// Total input bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs
+            .iter()
+            .chain(self.inputs_next.iter())
+            .map(|f| f.file_size)
+            .sum()
+    }
+}
+
+/// User-key range `[lo, hi]` spanned by `files`.
+fn key_range(files: &[Arc<FileMetaData>]) -> Option<(Vec<u8>, Vec<u8>)> {
+    let mut lo: Option<Vec<u8>> = None;
+    let mut hi: Option<Vec<u8>> = None;
+    for f in files {
+        let s = types::user_key(&f.smallest).to_vec();
+        let l = types::user_key(&f.largest).to_vec();
+        if lo.as_ref().is_none_or(|cur| &s < cur) {
+            lo = Some(s);
+        }
+        if hi.as_ref().is_none_or(|cur| &l > cur) {
+            hi = Some(l);
+        }
+    }
+    lo.zip(hi)
+}
+
+/// Round-robin cursors, one per level, storing the user key after which the
+/// next pick starts.
+#[derive(Debug, Default)]
+pub struct CompactionCursors {
+    cursors: Vec<Option<Vec<u8>>>,
+}
+
+impl CompactionCursors {
+    /// Cursors for `n` levels.
+    pub fn new(n: usize) -> CompactionCursors {
+        CompactionCursors {
+            cursors: vec![None; n],
+        }
+    }
+}
+
+/// Picks the neediest compaction, or `None` when nothing scores ≥ 1 or all
+/// candidate files are busy.
+pub fn pick_compaction(
+    version: &Version,
+    opts: &DbOptions,
+    in_progress: &HashSet<u64>,
+    cursors: &mut CompactionCursors,
+) -> Option<CompactionTask> {
+    let (level, score) = version.compaction_score(opts);
+    if score < 1.0 {
+        return None;
+    }
+    let output_level = level + 1;
+    let inputs: Vec<Arc<FileMetaData>> = if level == 0 {
+        let all = version.levels[0].clone();
+        // One L0→L1 compaction at a time (RocksDB behavior): if any L0 file
+        // is already being compacted, wait.
+        if all.iter().any(|f| in_progress.contains(&f.number)) {
+            return None;
+        }
+        all
+    } else {
+        let files = &version.levels[level];
+        let cursor = cursors.cursors[level].clone();
+        let start = match &cursor {
+            None => 0,
+            Some(c) => files.partition_point(|f| types::user_key(&f.smallest) <= &c[..]),
+        };
+        let pick = files
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(files.len())
+            .find(|f| !in_progress.contains(&f.number))
+            .cloned();
+        match pick {
+            Some(f) => {
+                cursors.cursors[level] = Some(types::user_key(&f.largest).to_vec());
+                vec![f]
+            }
+            None => return None,
+        }
+    };
+    if inputs.is_empty() {
+        return None;
+    }
+    let (lo, hi) = key_range(&inputs).expect("non-empty inputs");
+    let inputs_next = version.overlapping(output_level, &lo, &hi);
+    if inputs_next.iter().any(|f| in_progress.contains(&f.number)) {
+        return None;
+    }
+    // Bottommost check: no file in any deeper level overlaps the range.
+    let can_drop_tombstones = (output_level + 1..version.levels.len())
+        .all(|deep| version.overlapping(deep, &lo, &hi).is_empty());
+    let is_trivial_move = level > 0 && inputs.len() == 1 && inputs_next.is_empty();
+    Some(CompactionTask {
+        level,
+        output_level,
+        inputs,
+        inputs_next,
+        is_trivial_move,
+        can_drop_tombstones,
+    })
+}
+
+/// Runs the merge for `task`, writing output SSTs and returning the version
+/// edit to install. Purely additive: installation and input deletion are
+/// the caller's job.
+///
+/// # Errors
+///
+/// Filesystem or corruption errors abort the compaction; outputs written so
+/// far are left for the caller's obsolete-file purge.
+pub fn run_compaction(
+    task: &CompactionTask,
+    fs: &Arc<SimFs>,
+    db_path: &str,
+    table_cache: &Arc<TableCache>,
+    stats: &Arc<DbStats>,
+    opts: &DbOptions,
+    new_file_number: &dyn Fn() -> u64,
+    min_snapshot: SequenceNumber,
+) -> DbResult<VersionEdit> {
+    let mut edit = VersionEdit::default();
+    for (lvl, files) in [(task.level, &task.inputs), (task.output_level, &task.inputs_next)] {
+        for f in files {
+            edit.deleted.push((lvl, f.number));
+        }
+    }
+
+    if task.is_trivial_move {
+        let f = &task.inputs[0];
+        edit.added.push((task.output_level, (**f).clone()));
+        stats.bump(Ticker::TrivialMoves);
+        return Ok(edit);
+    }
+
+    // Build the merged input iterator: L0 files individually (overlapping),
+    // the rest as level runs.
+    let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+    if task.level == 0 {
+        for f in &task.inputs {
+            let reader = table_cache.reader(f)?;
+            children.push(Box::new(reader.iter_with_readahead(Arc::clone(stats))));
+        }
+    } else {
+        children.push(Box::new(LevelIterator::new_with_readahead(
+            task.inputs.clone(),
+            Arc::clone(table_cache),
+            Arc::clone(stats),
+        )));
+    }
+    if !task.inputs_next.is_empty() {
+        children.push(Box::new(LevelIterator::new_with_readahead(
+            task.inputs_next.clone(),
+            Arc::clone(table_cache),
+            Arc::clone(stats),
+        )));
+    }
+    let mut merged = MergingIterator::new(children);
+
+    let mut builder: Option<TableBuilder> = None;
+    let mut builder_number = 0u64;
+    let mut last_user_key: Option<Vec<u8>> = None;
+    let mut last_kept_visible = false; // kept an entry for last_user_key with seq <= min_snapshot
+    let mut cpu_ns_accum = 0u64;
+
+    let finish_builder =
+        |builder: &mut Option<TableBuilder>, number: u64, edit: &mut VersionEdit| -> DbResult<()> {
+            if let Some(b) = builder.take() {
+                let props = b.finish()?;
+                edit.added.push((
+                    task.output_level,
+                    FileMetaData {
+                        number,
+                        file_size: props.file_size,
+                        smallest: props.smallest,
+                        largest: props.largest,
+                        num_entries: props.num_entries,
+                    },
+                ));
+            }
+            Ok(())
+        };
+
+    let mut ok = merged.seek_to_first()?;
+    while ok {
+        let ikey = merged.key();
+        let (uk, seq, t) = types::parse_internal_key(&ikey);
+        // Batch the per-entry CPU charge to one sleep per 256 entries.
+        cpu_ns_accum += costs::MERGE_ENTRY_NS;
+        if cpu_ns_accum >= 256 * costs::MERGE_ENTRY_NS {
+            xlsm_sim::sleep_nanos(cpu_ns_accum);
+            cpu_ns_accum = 0;
+        }
+
+        let same_key = last_user_key.as_deref() == Some(uk);
+        if !same_key {
+            // Reset per-key state *before* the drop decision, so a dropped
+            // leading tombstone's shadow survives for the older versions.
+            last_user_key = Some(uk.to_vec());
+            last_kept_visible = false;
+        }
+        let mut drop = false;
+        if same_key && last_kept_visible {
+            // A newer, universally-visible version shadows this one.
+            drop = true;
+        } else if t == ValueType::Deletion && seq <= min_snapshot && task.can_drop_tombstones {
+            drop = true;
+            // The dropped tombstone still shadows older versions below it.
+            last_kept_visible = true;
+        }
+        if !drop {
+            if seq <= min_snapshot {
+                last_kept_visible = true;
+            }
+            if builder.is_none() {
+                builder_number = new_file_number();
+                let file = fs.create(&sst_file_name(db_path, builder_number))?;
+                builder = Some(TableBuilder::new(
+                    file,
+                    opts.block_size,
+                    opts.bloom_bits_per_key,
+                ));
+            }
+            let b = builder.as_mut().unwrap();
+            b.add(&ikey, &merged.value())?;
+            if b.file_size() >= opts.target_file_size_base {
+                finish_builder(&mut builder, builder_number, &mut edit)?;
+            }
+        }
+        ok = merged.next()?;
+    }
+    if cpu_ns_accum > 0 {
+        xlsm_sim::sleep_nanos(cpu_ns_accum);
+    }
+    finish_builder(&mut builder, builder_number, &mut edit)?;
+
+    stats.add(Ticker::CompactReadBytes, task.input_bytes());
+    stats.add(
+        Ticker::CompactWriteBytes,
+        edit.added.iter().map(|(_, f)| f.file_size).sum(),
+    );
+    Ok(edit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::make_internal_key;
+
+    fn meta(number: u64, lo: &[u8], hi: &[u8], size: u64) -> FileMetaData {
+        FileMetaData {
+            number,
+            file_size: size,
+            smallest: make_internal_key(lo, 1, ValueType::Value),
+            largest: make_internal_key(hi, 1, ValueType::Value),
+            num_entries: 10,
+        }
+    }
+
+    fn version_with(l0: Vec<FileMetaData>, l1: Vec<FileMetaData>) -> Version {
+        let mut e = VersionEdit::default();
+        for f in l0 {
+            e.added.push((0, f));
+        }
+        for f in l1 {
+            e.added.push((1, f));
+        }
+        crate::version::apply_edit(&Version::empty(7), &e)
+    }
+
+    #[test]
+    fn no_compaction_below_trigger() {
+        let opts = DbOptions::default();
+        let v = version_with(vec![meta(1, b"a", b"z", 100)], vec![]);
+        let mut cursors = CompactionCursors::new(7);
+        assert!(pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).is_none());
+    }
+
+    #[test]
+    fn l0_pick_takes_all_l0_and_overlaps() {
+        let opts = DbOptions::default();
+        let v = version_with(
+            (1..=4).map(|i| meta(i, b"c", b"m", 100)).collect(),
+            vec![meta(10, b"a", b"d", 100), meta(11, b"k", b"p", 100), meta(12, b"x", b"z", 100)],
+        );
+        let mut cursors = CompactionCursors::new(7);
+        let t = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        assert_eq!(t.level, 0);
+        assert_eq!(t.inputs.len(), 4);
+        // Overlapping L1: [a,d] and [k,p], not [x,z].
+        assert_eq!(t.inputs_next.len(), 2);
+        assert!(!t.is_trivial_move);
+        assert!(t.can_drop_tombstones, "nothing deeper than L1 here");
+    }
+
+    #[test]
+    fn busy_l0_defers() {
+        let opts = DbOptions::default();
+        let v = version_with((1..=4).map(|i| meta(i, b"a", b"z", 100)).collect(), vec![]);
+        let mut cursors = CompactionCursors::new(7);
+        let mut busy = HashSet::new();
+        busy.insert(2u64);
+        assert!(pick_compaction(&v, &opts, &busy, &mut cursors).is_none());
+    }
+
+    #[test]
+    fn trivial_move_when_no_overlap() {
+        let mut opts = DbOptions::default();
+        opts.max_bytes_for_level_base = 50; // force L1 over target
+        let v = version_with(vec![], vec![meta(5, b"a", b"c", 100)]);
+        let mut cursors = CompactionCursors::new(7);
+        let t = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        assert_eq!(t.level, 1);
+        assert!(t.is_trivial_move);
+        assert_eq!(t.input_numbers(), vec![5]);
+    }
+
+    #[test]
+    fn cursor_round_robins_level_files() {
+        let mut opts = DbOptions::default();
+        opts.max_bytes_for_level_base = 50;
+        let v = version_with(
+            vec![],
+            vec![meta(5, b"a", b"c", 100), meta(6, b"m", b"p", 100)],
+        );
+        let mut cursors = CompactionCursors::new(7);
+        let t1 = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        assert_eq!(t1.inputs[0].number, 5);
+        let t2 = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        assert_eq!(t2.inputs[0].number, 6, "cursor should advance");
+        let t3 = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        assert_eq!(t3.inputs[0].number, 5, "cursor should wrap");
+    }
+}

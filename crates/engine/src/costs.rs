@@ -1,0 +1,150 @@
+//! Calibrated CPU cost model.
+//!
+//! Because the engine executes under a virtual clock, pure-CPU work (skiplist
+//! hops, block decoding, key comparisons) must be charged explicitly. The
+//! constants below are anchored to the paper's own software-cost
+//! measurements:
+//!
+//! * a Level-0 table lookup costs ≈ 8.5 µs in a 32 MB file and ≈ 9.7 µs in a
+//!   256 MB file (Section IV-B) — i.e. a large fixed software cost plus a
+//!   slowly growing size-dependent term;
+//! * the median write (memtable insert + WAL buffer append) is ≈ 15 µs
+//!   (Section IV-A's throughput model);
+//! * memtable size increases WRITE tail latency noticeably from 64 MB to
+//!   256 MB (Fig. 12), implying per-hop costs grow with structure size
+//!   (cache misses), not just `O(log N)` hop counts.
+//!
+//! All functions return nanoseconds; callers charge them with
+//! [`xlsm_sim::sleep_nanos`].
+
+/// Fixed cost of entering the write path (batch setup, sequence assignment).
+pub const WRITE_SETUP_NS: u64 = 1_500;
+
+/// Fixed cost of a Get call (key hashing, version pinning).
+pub const GET_SETUP_NS: u64 = 1_200;
+
+/// Cost of appending one record to the WAL's in-memory buffer, per KiB.
+pub const WAL_ENCODE_NS_PER_KIB: u64 = 350;
+
+/// Base cost of one skiplist hop in a small structure.
+pub const SKIPLIST_HOP_BASE_NS: u64 = 60;
+
+/// Extra per-hop cost per doubling of structure size above 64 KiB
+/// (cache-miss growth).
+pub const SKIPLIST_HOP_GROWTH_NS: u64 = 18;
+
+/// Arena allocation + node linking for an insert.
+pub const SKIPLIST_INSERT_BASE_NS: u64 = 400;
+
+/// Decoding one SST block, per KiB.
+pub const BLOCK_DECODE_NS_PER_KIB: u64 = 220;
+
+/// One key comparison during binary search (index or restart array).
+pub const SEARCH_CMP_NS: u64 = 55;
+
+/// Checking a bloom filter.
+pub const BLOOM_CHECK_NS: u64 = 200;
+
+/// Fixed per-SST-file overhead for a point lookup (table handle, index
+/// setup). Dominates the paper's per-L0-file cost.
+pub const TABLE_LOOKUP_BASE_NS: u64 = 2_600;
+
+/// Per-entry cost while merging during compaction/flush: merge-heap
+/// comparisons, block building, checksumming, property collection. Real
+/// RocksDB compactions run at roughly 100–300 MB/s of CPU per thread; at
+/// ~1 KiB entries that is ≈ 2.5 µs per entry.
+pub const MERGE_ENTRY_NS: u64 = 3_500;
+
+/// Per-entry cost while flushing a memtable to an L0 SST. Cheaper than a
+/// compaction entry: single sorted input, no merge heap, no tombstone
+/// bookkeeping (RocksDB flushes run at several hundred MB/s).
+pub const FLUSH_ENTRY_NS: u64 = 1_200;
+
+/// Integer log2 (floor), with `log2ceil(0|1) = 0`.
+pub fn log2_floor(v: u64) -> u64 {
+    if v <= 1 {
+        0
+    } else {
+        63 - v.leading_zeros() as u64
+    }
+}
+
+/// Cost of one skiplist *hop* in a structure currently holding
+/// `approx_bytes`.
+pub fn skiplist_hop_ns(approx_bytes: u64) -> u64 {
+    let doublings = log2_floor((approx_bytes / (64 << 10)).max(1));
+    SKIPLIST_HOP_BASE_NS + SKIPLIST_HOP_GROWTH_NS * doublings
+}
+
+/// Cost of a skiplist search among `entries` entries occupying
+/// `approx_bytes`.
+pub fn skiplist_search_ns(entries: u64, approx_bytes: u64) -> u64 {
+    (log2_floor(entries.max(2)) + 1) * skiplist_hop_ns(approx_bytes)
+}
+
+/// Cost of a skiplist insert (search + node allocation + linking).
+pub fn skiplist_insert_ns(entries: u64, approx_bytes: u64) -> u64 {
+    skiplist_search_ns(entries, approx_bytes) + SKIPLIST_INSERT_BASE_NS
+}
+
+/// Cost of binary search over `n` sorted entries.
+pub fn binary_search_ns(n: u64) -> u64 {
+    (log2_floor(n.max(2)) + 1) * SEARCH_CMP_NS
+}
+
+/// Cost of decoding a block of `bytes` bytes.
+pub fn block_decode_ns(bytes: usize) -> u64 {
+    (bytes as u64 * BLOCK_DECODE_NS_PER_KIB) / 1024
+}
+
+/// Cost of encoding `bytes` of WAL payload.
+pub fn wal_encode_ns(bytes: usize) -> u64 {
+    (bytes as u64 * WAL_ENCODE_NS_PER_KIB) / 1024 + 300
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_floor_values() {
+        assert_eq!(log2_floor(0), 0);
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(2), 1);
+        assert_eq!(log2_floor(3), 1);
+        assert_eq!(log2_floor(1024), 10);
+    }
+
+    #[test]
+    fn hop_cost_grows_with_size() {
+        let small = skiplist_hop_ns(64 << 10);
+        let large = skiplist_hop_ns(256 << 20);
+        assert!(large > small);
+        // 256 MB = 12 doublings above 64 KiB.
+        assert_eq!(large, SKIPLIST_HOP_BASE_NS + 12 * SKIPLIST_HOP_GROWTH_NS);
+    }
+
+    #[test]
+    fn insert_cost_monotone_in_entries_and_bytes() {
+        let a = skiplist_insert_ns(1_000, 1 << 20);
+        let b = skiplist_insert_ns(100_000, 1 << 20);
+        let c = skiplist_insert_ns(100_000, 256 << 20);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn paper_l0_lookup_anchor() {
+        // One L0 table probe (no bloom, index + one cached block):
+        // base + index search (~5 cmps) + 4 KiB decode + restart search.
+        let cost = TABLE_LOOKUP_BASE_NS
+            + binary_search_ns(32)
+            + block_decode_ns(4096)
+            + binary_search_ns(16);
+        // Paper anchor: ≈ 8.5 µs including the page-cache read (~2 µs in
+        // simfs) and memtable/bloom bits; CPU share should land ≈ 3.5–5 µs.
+        assert!(
+            (3_000..6_500).contains(&cost),
+            "L0 probe CPU cost out of calibration: {cost} ns"
+        );
+    }
+}

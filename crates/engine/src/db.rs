@@ -1,0 +1,1602 @@
+//! The database: open/recover, read & write paths, background flush and
+//! compaction, shutdown.
+
+use crate::batch::WriteBatch;
+use crate::compaction::{pick_compaction, run_compaction, CompactionCursors};
+use crate::controller::{StallSignals, WriteController};
+use crate::costs;
+use crate::error::{DbError, DbResult};
+use crate::iterator::{DbIterator, InternalIterator, LevelIterator, MergingIterator};
+use crate::memtable::MemTable;
+use crate::options::DbOptions;
+use crate::sst::{sst_file_name, TableBuilder, TableReader};
+use crate::stats::{DbStats, Ticker};
+use crate::types::{self, SequenceNumber, ValueType};
+use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
+use crate::wal::{read_wal, WalWriter};
+use crate::write::{WriteBackend, WriteQueue};
+use crate::cache::BlockCache;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use xlsm_sim::sync::{channel, Receiver, Semaphore, Sender};
+use xlsm_sim::JoinHandle;
+use xlsm_simfs::{FsError, SimFs};
+
+// ---------------------------------------------------------------------------
+// Table cache
+// ---------------------------------------------------------------------------
+
+/// Caches open [`TableReader`]s and owns the shared block cache.
+pub struct TableCache {
+    fs: Arc<SimFs>,
+    db_path: String,
+    block_cache: Arc<BlockCache>,
+    readers: parking_lot::Mutex<std::collections::HashMap<u64, Arc<TableReader>>>,
+}
+
+impl std::fmt::Debug for TableCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableCache")
+            .field("open_tables", &self.readers.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TableCache {
+    /// Creates a table cache over `fs` with a block cache of
+    /// `block_cache_capacity` bytes.
+    pub fn new(fs: Arc<SimFs>, db_path: &str, block_cache_capacity: usize) -> Arc<TableCache> {
+        Arc::new(TableCache {
+            fs,
+            db_path: db_path.to_owned(),
+            block_cache: BlockCache::new(block_cache_capacity),
+            readers: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// Opens (or returns the cached) reader for `meta`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or corruption errors from opening the table.
+    pub fn reader(&self, meta: &Arc<FileMetaData>) -> DbResult<Arc<TableReader>> {
+        if let Some(r) = self.readers.lock().get(&meta.number) {
+            return Ok(Arc::clone(r));
+        }
+        // Open outside the lock (it performs reads).
+        let file = self.fs.open(&sst_file_name(&self.db_path, meta.number))?;
+        let reader = Arc::new(TableReader::open(
+            file,
+            meta.number,
+            Arc::clone(&self.block_cache),
+        )?);
+        Ok(Arc::clone(
+            self.readers
+                .lock()
+                .entry(meta.number)
+                .or_insert(reader),
+        ))
+    }
+
+    /// Drops cached state for a deleted file.
+    pub fn evict(&self, number: u64) {
+        self.readers.lock().remove(&number);
+        self.block_cache.remove_file(number);
+    }
+
+    /// The shared decoded-block cache.
+    pub fn block_cache(&self) -> &Arc<BlockCache> {
+        &self.block_cache
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memtable state
+// ---------------------------------------------------------------------------
+
+struct MemState {
+    mutable: Arc<MemTable>,
+    /// WAL backing the mutable memtable (None when WAL disabled).
+    wal: Option<Arc<WalWriter>>,
+    wal_number: u64,
+    /// Immutable memtables with their WAL numbers, oldest first.
+    immutables: Vec<(Arc<MemTable>, u64)>,
+    next_mem_id: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Db
+// ---------------------------------------------------------------------------
+
+/// Summary of the LSM shape, for experiments and reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LsmShape {
+    /// Files per level.
+    pub files_per_level: Vec<usize>,
+    /// Bytes per level.
+    pub bytes_per_level: Vec<u64>,
+    /// Immutable memtable count.
+    pub immutables: usize,
+    /// Mutable memtable fill in bytes.
+    pub mutable_bytes: usize,
+}
+
+struct DbInner {
+    opts: DbOptions,
+    fs: Arc<SimFs>,
+    wal_fs: Arc<SimFs>,
+    versions: VersionSet,
+    mem: parking_lot::Mutex<MemState>,
+    table_cache: Arc<TableCache>,
+    stats: Arc<DbStats>,
+    controller: WriteController,
+    queue: WriteQueue,
+    write_buffer_size: AtomicUsize,
+    snapshots: parking_lot::Mutex<Vec<SequenceNumber>>,
+    shutdown: AtomicBool,
+    l0_trigger_override: AtomicUsize,
+    install_lock: Semaphore,
+    flush_serial: Semaphore,
+    flush_tx: Sender<()>,
+    compact_tx: Sender<()>,
+    compact_queued: AtomicUsize,
+    in_compaction: parking_lot::Mutex<HashSet<u64>>,
+    cursors: parking_lot::Mutex<CompactionCursors>,
+    obsolete: parking_lot::Mutex<Vec<u64>>,
+}
+
+/// The key-value store handle. Cheap to clone via `Arc` semantics? No —
+/// share by reference or wrap in `Arc<Db>`; the struct owns background
+/// worker handles and must be [`Db::close`]d before the sim runtime exits.
+pub struct Db {
+    inner: Arc<DbInner>,
+    workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("path", &self.inner.opts.db_path)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Write-path callbacks bound to the database.
+struct DbBackend {
+    inner: Arc<DbInner>,
+}
+
+impl DbInner {
+    fn current_write_buffer_size(&self) -> usize {
+        self.write_buffer_size.load(Ordering::Relaxed)
+    }
+
+    /// Options with any runtime overrides applied (currently the L0
+    /// compaction trigger, used by the dynamic-L0 case study).
+    fn effective_opts(&self) -> DbOptions {
+        let mut opts = self.opts.clone();
+        let trig = self.l0_trigger_override.load(Ordering::Relaxed);
+        if trig > 0 {
+            opts.level0_file_num_compaction_trigger = trig;
+        }
+        opts
+    }
+
+    fn stall_signals(&self) -> StallSignals {
+        let version = self.versions.current();
+        let (imm, mutable_full) = {
+            let mem = self.mem.lock();
+            (
+                mem.immutables.len(),
+                mem.mutable.approximate_bytes() >= self.current_write_buffer_size(),
+            )
+        };
+        StallSignals {
+            l0_files: version.num_l0_files(),
+            memtables: imm + 1 + usize::from(mutable_full && imm + 1 >= self.opts.max_write_buffer_number),
+            pending_compaction_bytes: version.pending_compaction_bytes(&self.effective_opts()),
+            compacted_bytes: self.stats.ticker(Ticker::FlushBytes)
+                + self.stats.ticker(Ticker::CompactWriteBytes),
+        }
+    }
+
+    fn update_stall_conditions(&self) {
+        let sig = self.stall_signals();
+        self.controller.update(&sig, &self.effective_opts());
+    }
+
+    fn schedule_flush(&self) {
+        let _ = self.flush_tx.send(());
+    }
+
+    fn maybe_schedule_compaction(&self) {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let version = self.versions.current();
+        let (_, score) = version.compaction_score(&self.effective_opts());
+        if score >= 1.0 {
+            let queued = self.compact_queued.load(Ordering::Relaxed);
+            if queued < self.opts.max_background_compactions * 2 {
+                self.compact_queued.fetch_add(1, Ordering::Relaxed);
+                let _ = self.compact_tx.send(());
+            }
+        }
+    }
+
+    /// Rotates the mutable memtable to immutable, creating a fresh memtable
+    /// and WAL. Caller must be the (serialized) write leader.
+    fn switch_memtable(self: &Arc<Self>) -> DbResult<()> {
+        // Create the new WAL outside any lock.
+        let (new_wal, new_number) = if self.opts.enable_wal {
+            let number = self.versions.new_file_number();
+            let wal = WalWriter::create(
+                &self.wal_fs,
+                &self.opts.db_path,
+                number,
+                self.opts.wal_bytes_per_sync,
+            )?;
+            (Some(Arc::new(wal)), number)
+        } else {
+            (None, self.versions.new_file_number())
+        };
+        let new_mem = {
+            let mut mem = self.mem.lock();
+            mem.next_mem_id += 1;
+            let new_mem = MemTable::new(mem.next_mem_id);
+            let old_mem = std::mem::replace(&mut mem.mutable, Arc::clone(&new_mem));
+            let old_wal_number = mem.wal_number;
+            mem.wal = new_wal;
+            mem.wal_number = new_number;
+            mem.immutables.push((old_mem, old_wal_number));
+            new_mem
+        };
+        let _ = new_mem;
+        self.update_stall_conditions();
+        self.schedule_flush();
+        Ok(())
+    }
+
+    /// Deletes SSTs queued as obsolete that no live version references.
+    fn purge_obsolete(&self) {
+        let candidates: Vec<u64> = std::mem::take(&mut *self.obsolete.lock());
+        if candidates.is_empty() {
+            return;
+        }
+        let live = self.versions.live_files();
+        let mut still_pinned = Vec::new();
+        for n in candidates {
+            if live.contains(&n) {
+                still_pinned.push(n);
+            } else {
+                self.table_cache.evict(n);
+                match self.fs.delete(&sst_file_name(&self.opts.db_path, n)) {
+                    Ok(()) | Err(FsError::NotFound(_)) => {}
+                    Err(e) => panic!("failed to delete obsolete SST {n}: {e}"),
+                }
+            }
+        }
+        self.obsolete.lock().extend(still_pinned);
+    }
+
+    /// Deletes WAL files with number < the version set's log watermark.
+    fn purge_old_wals(&self) {
+        let watermark = self.versions.log_number();
+        let prefix = format!("{}/", self.opts.db_path);
+        for path in self.wal_fs.list(&prefix) {
+            if let Some(number) = parse_file_number(&path, ".log") {
+                if number < watermark {
+                    let _ = self.wal_fs.delete(&path);
+                }
+            }
+        }
+    }
+
+    // -- flush ------------------------------------------------------------
+
+    fn flush_one(self: &Arc<Self>) -> DbResult<bool> {
+        // Serialize flush jobs (RocksDB flushes one memtable at a time).
+        self.flush_serial.acquire(1);
+        let result = self.flush_one_locked();
+        self.flush_serial.release(1);
+        result
+    }
+
+    fn flush_one_locked(self: &Arc<Self>) -> DbResult<bool> {
+        let (mem, _wal_number) = {
+            let state = self.mem.lock();
+            match state.immutables.first() {
+                Some((m, w)) => (Arc::clone(m), *w),
+                None => return Ok(false),
+            }
+        };
+        let t0 = xlsm_sim::now_nanos();
+        let number = self.versions.new_file_number();
+        let file = self.fs.create(&sst_file_name(&self.opts.db_path, number))?;
+        let mut builder = TableBuilder::new(file, self.opts.block_size, self.opts.bloom_bits_per_key);
+        let mut iter = mem.iter();
+        let mut ok = InternalIterator::seek_to_first(&mut iter)?;
+        let mut cpu = 0u64;
+        while ok {
+            builder.add(&InternalIterator::key(&iter), &InternalIterator::value(&iter))?;
+            cpu += costs::FLUSH_ENTRY_NS;
+            if cpu >= 256 * costs::FLUSH_ENTRY_NS {
+                xlsm_sim::sleep_nanos(cpu);
+                cpu = 0;
+            }
+            ok = InternalIterator::next(&mut iter)?;
+        }
+        if cpu > 0 {
+            xlsm_sim::sleep_nanos(cpu);
+        }
+        let props = builder.finish()?;
+
+        // Install.
+        self.install_lock.acquire(1);
+        let log_watermark = {
+            let state = self.mem.lock();
+            state
+                .immutables
+                .iter()
+                .skip(1)
+                .map(|(_, w)| *w)
+                .chain(std::iter::once(state.wal_number))
+                .min()
+                .unwrap_or(state.wal_number)
+        };
+        let mut edit = VersionEdit::default();
+        edit.added.push((
+            0,
+            FileMetaData {
+                number,
+                file_size: props.file_size,
+                smallest: props.smallest,
+                largest: props.largest,
+                num_entries: props.num_entries,
+            },
+        ));
+        edit.log_number = Some(log_watermark);
+        let install = self.versions.log_and_apply(edit);
+        self.install_lock.release(1);
+        install?;
+
+        {
+            let mut state = self.mem.lock();
+            debug_assert!(Arc::ptr_eq(&state.immutables[0].0, &mem));
+            state.immutables.remove(0);
+        }
+        self.stats.bump(Ticker::FlushCount);
+        self.stats.add(Ticker::FlushBytes, props.file_size);
+        self.stats
+            .flush_duration
+            .record(xlsm_sim::now_nanos() - t0);
+        self.purge_old_wals();
+        self.update_stall_conditions();
+        self.maybe_schedule_compaction();
+        Ok(true)
+    }
+
+    // -- compaction --------------------------------------------------------
+
+    fn compact_one(self: &Arc<Self>) -> DbResult<bool> {
+        let effective = self.effective_opts();
+        let task = {
+            let version = self.versions.current();
+            let in_progress = self.in_compaction.lock();
+            let mut cursors = self.cursors.lock();
+            pick_compaction(&version, &effective, &in_progress, &mut cursors)
+        };
+        let Some(task) = task else {
+            return Ok(false);
+        };
+        {
+            let mut in_progress = self.in_compaction.lock();
+            for n in task.input_numbers() {
+                in_progress.insert(n);
+            }
+        }
+        let t0 = xlsm_sim::now_nanos();
+        let min_snapshot = self
+            .snapshots
+            .lock()
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or_else(|| self.versions.last_sequence());
+        let inner = Arc::clone(self);
+        let result = run_compaction(
+            &task,
+            &self.fs,
+            &self.opts.db_path,
+            &self.table_cache,
+            &self.stats,
+            &self.opts,
+            &move || inner.versions.new_file_number(),
+            min_snapshot,
+        );
+        let edit = match result {
+            Ok(edit) => edit,
+            Err(e) => {
+                let mut in_progress = self.in_compaction.lock();
+                for n in task.input_numbers() {
+                    in_progress.remove(&n);
+                }
+                return Err(e);
+            }
+        };
+        self.install_lock.acquire(1);
+        let install = self.versions.log_and_apply(edit);
+        self.install_lock.release(1);
+        {
+            let mut in_progress = self.in_compaction.lock();
+            for n in task.input_numbers() {
+                in_progress.remove(&n);
+            }
+        }
+        install?;
+        if !task.is_trivial_move {
+            self.obsolete.lock().extend(task.input_numbers());
+            self.purge_obsolete();
+        }
+        self.stats.bump(Ticker::CompactionCount);
+        self.stats
+            .compaction_duration
+            .record(xlsm_sim::now_nanos() - t0);
+        self.update_stall_conditions();
+        self.maybe_schedule_compaction();
+        Ok(true)
+    }
+}
+
+fn parse_file_number(path: &str, suffix: &str) -> Option<u64> {
+    let name = path.rsplit('/').next()?;
+    name.strip_suffix(suffix)?.parse().ok()
+}
+
+impl WriteBackend for DbBackend {
+    fn preprocess(&self, group_bytes: u64) -> DbResult<()> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return Err(DbError::ShuttingDown);
+        }
+        loop {
+            // Stop conditions (Algorithm 1's stop threshold, memtable limit).
+            let stopped_ns = inner.controller.wait_while_stopped();
+            if stopped_ns > 0 {
+                inner.stats.bump(Ticker::StallStoppedWrites);
+                inner.stats.add(Ticker::StallMicros, stopped_ns / 1_000);
+            }
+            // Delay (Algorithm 1's DELAYWRITE pacing).
+            let delay = inner.controller.delay_for_write(group_bytes);
+            if delay > 0 {
+                inner.stats.bump(Ticker::StallDelayedWrites);
+                inner.stats.add(Ticker::StallMicros, delay / 1_000);
+                xlsm_sim::sleep_nanos(delay);
+            }
+            // Room in the mutable memtable.
+            let (mutable_full, imm_count) = {
+                let mem = inner.mem.lock();
+                (
+                    mem.mutable.approximate_bytes() >= inner.current_write_buffer_size(),
+                    mem.immutables.len(),
+                )
+            };
+            if !mutable_full {
+                return Ok(());
+            }
+            if imm_count + 1 >= inner.opts.max_write_buffer_number {
+                // Switching now would exceed the memtable budget: raise the
+                // stop condition and wait for a flush.
+                inner.update_stall_conditions();
+                if !inner.controller.is_stopped() {
+                    // Flush just finished between our check and update;
+                    // retry.
+                    continue;
+                }
+                continue;
+            }
+            inner.switch_memtable()?;
+        }
+    }
+
+    fn allocate_seq(&self, count: u64) -> u64 {
+        self.inner.versions.allocate_sequences(count)
+    }
+
+    fn write_wal(&self, group: &WriteBatch) -> DbResult<()> {
+        if !self.inner.opts.enable_wal {
+            return Ok(());
+        }
+        let wal = {
+            let mem = self.inner.mem.lock();
+            mem.wal.clone()
+        };
+        let Some(wal) = wal else {
+            return Ok(());
+        };
+        let t0 = xlsm_sim::now_nanos();
+        let written = wal.append(group.data(), self.inner.opts.wal_sync)?;
+        self.inner.stats.add(Ticker::WalBytes, written);
+        if self.inner.opts.wal_sync {
+            self.inner.stats.bump(Ticker::WalSyncs);
+        }
+        self.inner
+            .stats
+            .wal_append
+            .record(xlsm_sim::now_nanos() - t0);
+        Ok(())
+    }
+
+    fn write_memtable(&self, group: &WriteBatch) -> DbResult<()> {
+        let mem = {
+            let state = self.inner.mem.lock();
+            Arc::clone(&state.mutable)
+        };
+        let entries = mem.num_entries();
+        let bytes = mem.approximate_bytes() as u64;
+        let per_insert = costs::skiplist_insert_ns(entries.max(1), bytes.max(1));
+        xlsm_sim::sleep_nanos(per_insert * group.count() as u64);
+        group.apply_to(&mem)
+    }
+}
+
+impl Db {
+    /// Opens (creating or recovering) a database on `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Option validation, filesystem, or corruption errors.
+    pub fn open(fs: Arc<SimFs>, opts: DbOptions) -> DbResult<Db> {
+        opts.validate().map_err(DbError::InvalidArgument)?;
+        let wal_fs = opts.wal_fs.clone().unwrap_or_else(|| Arc::clone(&fs));
+        let db_path = opts.db_path.clone();
+        let existing = fs.exists(&format!("{db_path}/CURRENT"));
+        let versions = if existing {
+            VersionSet::recover(Arc::clone(&fs), &db_path, &opts)?
+        } else {
+            VersionSet::create_new(Arc::clone(&fs), &db_path, &opts)?
+        };
+        let table_cache = TableCache::new(Arc::clone(&fs), &db_path, opts.block_cache_capacity);
+        let stats = DbStats::shared();
+
+        // --- WAL recovery ---------------------------------------------------
+        let mut recovered = Vec::new();
+        if existing {
+            let prefix = format!("{db_path}/");
+            let mut wals: Vec<(u64, String)> = wal_fs
+                .list(&prefix)
+                .into_iter()
+                .filter_map(|p| parse_file_number(&p, ".log").map(|n| (n, p)))
+                .filter(|(n, _)| *n >= versions.log_number())
+                .collect();
+            wals.sort();
+            recovered = wals;
+        }
+        let recovery_mem = MemTable::new(0);
+        let mut max_seq = versions.last_sequence();
+        for (_, path) in &recovered {
+            for payload in read_wal(&wal_fs, path)? {
+                let batch = WriteBatch::from_data(&payload)?;
+                batch.apply_to(&recovery_mem)?;
+                max_seq = max_seq.max(batch.sequence() + batch.count() as u64 - 1);
+            }
+        }
+        while versions.last_sequence() < max_seq {
+            versions.allocate_sequences(max_seq - versions.last_sequence());
+        }
+
+        // Flush recovered entries straight to L0.
+        if !recovery_mem.is_empty() {
+            let number = versions.new_file_number();
+            let file = fs.create(&sst_file_name(&db_path, number))?;
+            let mut builder = TableBuilder::new(file, opts.block_size, opts.bloom_bits_per_key);
+            let mem_arc = recovery_mem;
+            let mut iter = mem_arc.iter();
+            let mut ok = InternalIterator::seek_to_first(&mut iter)?;
+            while ok {
+                builder.add(
+                    &InternalIterator::key(&iter),
+                    &InternalIterator::value(&iter),
+                )?;
+                ok = InternalIterator::next(&mut iter)?;
+            }
+            let props = builder.finish()?;
+            let mut edit = VersionEdit::default();
+            edit.added.push((
+                0,
+                FileMetaData {
+                    number,
+                    file_size: props.file_size,
+                    smallest: props.smallest,
+                    largest: props.largest,
+                    num_entries: props.num_entries,
+                },
+            ));
+            versions.log_and_apply(edit)?;
+        }
+
+        // --- Fresh WAL + memtable --------------------------------------------
+        let wal_number = versions.new_file_number();
+        let wal = if opts.enable_wal {
+            Some(Arc::new(WalWriter::create(
+                &wal_fs,
+                &db_path,
+                wal_number,
+                opts.wal_bytes_per_sync,
+            )?))
+        } else {
+            None
+        };
+        // Old WALs are fully represented in L0 now.
+        let mut edit = VersionEdit::default();
+        edit.log_number = Some(wal_number);
+        versions.log_and_apply(edit)?;
+
+        let (flush_tx, flush_rx) = channel::<()>("flush-jobs");
+        let (compact_tx, compact_rx) = channel::<()>("compaction-jobs");
+
+        let inner = Arc::new(DbInner {
+            controller: WriteController::new(&opts),
+            queue: WriteQueue::new(opts.pipelined_write, opts.max_write_batch_group_size),
+            write_buffer_size: AtomicUsize::new(opts.write_buffer_size),
+            l0_trigger_override: AtomicUsize::new(0),
+            mem: parking_lot::Mutex::new(MemState {
+                mutable: MemTable::new(1),
+                wal,
+                wal_number,
+                immutables: Vec::new(),
+                next_mem_id: 1,
+            }),
+            table_cache,
+            stats,
+            versions,
+            snapshots: parking_lot::Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            install_lock: Semaphore::new("manifest-install", 1),
+            flush_serial: Semaphore::new("flush-serial", 1),
+            flush_tx,
+            compact_tx,
+            compact_queued: AtomicUsize::new(0),
+            in_compaction: parking_lot::Mutex::new(HashSet::new()),
+            cursors: parking_lot::Mutex::new(CompactionCursors::new(opts.num_levels)),
+            obsolete: parking_lot::Mutex::new(Vec::new()),
+            wal_fs,
+            fs,
+            opts,
+        });
+        inner.purge_old_wals();
+
+        // --- Background workers ----------------------------------------------
+        let mut workers = Vec::new();
+        for i in 0..inner.opts.max_background_flushes {
+            let rx: Receiver<()> = flush_rx.clone();
+            let inner2 = Arc::clone(&inner);
+            workers.push(xlsm_sim::spawn(&format!("flush-{i}"), move || {
+                while rx.recv().is_some() {
+                    if inner2.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Err(e) = inner2.flush_one() {
+                        panic!("flush worker failed: {e}");
+                    }
+                }
+            }));
+        }
+        for i in 0..inner.opts.max_background_compactions {
+            let rx: Receiver<()> = compact_rx.clone();
+            let inner2 = Arc::clone(&inner);
+            workers.push(xlsm_sim::spawn(&format!("compact-{i}"), move || {
+                while rx.recv().is_some() {
+                    inner2.compact_queued.fetch_sub(1, Ordering::Relaxed);
+                    if inner2.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Err(e) = inner2.compact_one() {
+                        panic!("compaction worker failed: {e}");
+                    }
+                }
+            }));
+        }
+
+        Ok(Db {
+            inner,
+            workers: parking_lot::Mutex::new(workers),
+        })
+    }
+
+    /// Writes a batch (group-committed).
+    ///
+    /// # Errors
+    ///
+    /// Shutdown or I/O failures.
+    pub fn write(&self, batch: WriteBatch) -> DbResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let t0 = xlsm_sim::now_nanos();
+        xlsm_sim::sleep_nanos(costs::WRITE_SETUP_NS);
+        self.inner.stats.add(Ticker::Puts, batch.count() as u64);
+        let backend = DbBackend {
+            inner: Arc::clone(&self.inner),
+        };
+        let r = self
+            .inner
+            .queue
+            .submit(batch, &backend, &self.inner.stats);
+        self.inner
+            .stats
+            .write_latency
+            .record(xlsm_sim::now_nanos() - t0);
+        r
+    }
+
+    /// Puts one key-value pair.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::write`].
+    pub fn put(&self, key: &[u8], value: &[u8]) -> DbResult<()> {
+        let mut b = WriteBatch::new();
+        b.put(key, value);
+        self.write(b)
+    }
+
+    /// Deletes one key.
+    ///
+    /// # Errors
+    ///
+    /// See [`Db::write`].
+    pub fn delete(&self, key: &[u8]) -> DbResult<()> {
+        let mut b = WriteBatch::new();
+        b.delete(key);
+        self.inner.stats.bump(Ticker::Deletes);
+        self.write(b)
+    }
+
+    /// Reads the newest visible value for `key`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption failures.
+    pub fn get(&self, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
+        self.get_at(key, self.inner.versions.last_sequence())
+    }
+
+    /// Reads `key` as of `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption failures.
+    pub fn get_at(&self, key: &[u8], snapshot: SequenceNumber) -> DbResult<Option<Vec<u8>>> {
+        let t0 = xlsm_sim::now_nanos();
+        xlsm_sim::sleep_nanos(costs::GET_SETUP_NS);
+        let inner = &self.inner;
+        inner.stats.bump(Ticker::Gets);
+        let result = self.get_inner(key, snapshot);
+        inner.stats.get_latency.record(xlsm_sim::now_nanos() - t0);
+        result
+    }
+
+    fn get_inner(&self, key: &[u8], snapshot: SequenceNumber) -> DbResult<Option<Vec<u8>>> {
+        let inner = &self.inner;
+        let (mutable, immutables) = {
+            let mem = inner.mem.lock();
+            (
+                Arc::clone(&mem.mutable),
+                mem.immutables
+                    .iter()
+                    .map(|(m, _)| Arc::clone(m))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        // Memtable.
+        xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
+            mutable.num_entries().max(1),
+            mutable.approximate_bytes().max(1) as u64,
+        ));
+        if let Some(found) = mutable.get(key, snapshot) {
+            inner.stats.bump(Ticker::GetHitMemtable);
+            return Ok(found);
+        }
+        // Immutables, newest first.
+        for m in immutables.iter().rev() {
+            xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
+                m.num_entries().max(1),
+                m.approximate_bytes().max(1) as u64,
+            ));
+            if let Some(found) = m.get(key, snapshot) {
+                inner.stats.bump(Ticker::GetHitImmutable);
+                return Ok(found);
+            }
+        }
+        // SSTs.
+        let version = inner.versions.current();
+        let lookup = types::make_lookup_key(key, snapshot);
+        // L0: newest-first, all covering files (the paper's Finding #2).
+        for f in &version.levels[0] {
+            if !f.may_contain_user_key(key) {
+                continue;
+            }
+            inner.stats.bump(Ticker::L0FilesSearched);
+            let reader = inner.table_cache.reader(f)?;
+            if let Some((ikey, value)) = reader.get(&lookup, key, &inner.stats)? {
+                let (_, _, t) = types::parse_internal_key(&ikey);
+                inner.stats.bump(Ticker::GetHitL0);
+                return Ok(match t {
+                    ValueType::Value => Some(value),
+                    ValueType::Deletion => None,
+                });
+            }
+        }
+        // Deeper levels: binary search for the single candidate file.
+        for level in 1..version.levels.len() {
+            let Some(f) = version.file_for_key(level, key) else {
+                continue;
+            };
+            let reader = inner.table_cache.reader(&f)?;
+            if let Some((ikey, value)) = reader.get(&lookup, key, &inner.stats)? {
+                let (_, _, t) = types::parse_internal_key(&ikey);
+                inner.stats.bump(Ticker::GetHitLn);
+                return Ok(match t {
+                    ValueType::Value => Some(value),
+                    ValueType::Deletion => None,
+                });
+            }
+        }
+        inner.stats.bump(Ticker::GetMiss);
+        Ok(None)
+    }
+
+    /// A full-database scan cursor at the current snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening tables.
+    pub fn scan(&self) -> DbResult<DbScanner> {
+        let inner = &self.inner;
+        let snapshot = inner.versions.last_sequence();
+        let (mutable, immutables) = {
+            let mem = inner.mem.lock();
+            (
+                Arc::clone(&mem.mutable),
+                mem.immutables
+                    .iter()
+                    .map(|(m, _)| Arc::clone(m))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let version = inner.versions.current();
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(mutable.iter()));
+        for m in immutables.iter().rev() {
+            children.push(Box::new(m.iter()));
+        }
+        for f in &version.levels[0] {
+            let reader = inner.table_cache.reader(f)?;
+            children.push(Box::new(reader.iter(Arc::clone(&inner.stats))));
+        }
+        for level in 1..version.levels.len() {
+            if !version.levels[level].is_empty() {
+                children.push(Box::new(LevelIterator::new(
+                    version.levels[level].clone(),
+                    Arc::clone(&inner.table_cache),
+                    Arc::clone(&inner.stats),
+                )));
+            }
+        }
+        Ok(DbScanner {
+            iter: DbIterator::new(MergingIterator::new(children), snapshot),
+            _version: version,
+        })
+    }
+
+    /// Takes a consistent snapshot; reads through [`Db::get_at`] with
+    /// [`Snapshot::sequence`] see a frozen view, and compaction preserves
+    /// the versions it needs.
+    pub fn snapshot(&self) -> Snapshot {
+        let seq = self.inner.versions.last_sequence();
+        self.inner.snapshots.lock().push(seq);
+        Snapshot {
+            inner: Arc::clone(&self.inner),
+            seq,
+        }
+    }
+
+    /// Forces a memtable switch + flush and waits until no immutables
+    /// remain (test/diagnostic helper).
+    ///
+    /// # Errors
+    ///
+    /// Flush I/O failures surface via background worker panics.
+    pub fn flush(&self) -> DbResult<()> {
+        {
+            let state = self.inner.mem.lock();
+            if state.mutable.is_empty() && state.immutables.is_empty() {
+                return Ok(());
+            }
+            if state.mutable.is_empty() {
+                drop(state);
+                self.inner.schedule_flush();
+            }
+        }
+        if !{ self.inner.mem.lock().mutable.is_empty() } {
+            self.inner.switch_memtable()?;
+        }
+        while !{ self.inner.mem.lock().immutables.is_empty() } {
+            xlsm_sim::sleep_nanos(100_000);
+        }
+        Ok(())
+    }
+
+    /// Blocks until no compaction is warranted and none is running
+    /// (test/diagnostic helper).
+    pub fn wait_for_compactions(&self) {
+        loop {
+            let score = self.inner.versions.current().compaction_score(&self.inner.opts).1;
+            let busy = !self.inner.in_compaction.lock().is_empty()
+                || self.inner.compact_queued.load(Ordering::Relaxed) > 0;
+            if score < 1.0 && !busy {
+                return;
+            }
+            self.inner.maybe_schedule_compaction();
+            xlsm_sim::sleep_nanos(200_000);
+        }
+    }
+
+    /// Statistics sink.
+    pub fn stats(&self) -> &Arc<DbStats> {
+        &self.inner.stats
+    }
+
+    /// Write-controller state (stall level, current delayed write rate).
+    pub fn controller_snapshot(&self) -> crate::controller::ControllerSnapshot {
+        self.inner.controller.snapshot()
+    }
+
+    /// Point-in-time LSM shape.
+    pub fn shape(&self) -> LsmShape {
+        let version = self.inner.versions.current();
+        let mem = self.inner.mem.lock();
+        LsmShape {
+            files_per_level: version.levels.iter().map(Vec::len).collect(),
+            bytes_per_level: (0..version.levels.len())
+                .map(|l| version.level_bytes(l))
+                .collect(),
+            immutables: mem.immutables.len(),
+            mutable_bytes: mem.mutable.approximate_bytes(),
+        }
+    }
+
+    /// Current Level-0 file count.
+    pub fn num_l0_files(&self) -> usize {
+        self.inner.versions.current().num_l0_files()
+    }
+
+    /// Writers currently queued in the write thread queue.
+    pub fn queued_writers(&self) -> usize {
+        self.inner.queue.queued()
+    }
+
+    /// Adjusts the memtable size at runtime (the dynamic Level-0 case study
+    /// V-B uses this to trade L0 file count against file size).
+    pub fn set_write_buffer_size(&self, bytes: usize) {
+        self.inner
+            .write_buffer_size
+            .store(bytes.max(64 << 10), Ordering::Relaxed);
+    }
+
+    /// Overrides the Level-0 compaction trigger at runtime (`0` restores
+    /// the configured value). Together with
+    /// [`Db::set_write_buffer_size`] this trades L0 file count against
+    /// file size at constant aggregate volume — case study V-B.
+    pub fn set_l0_compaction_trigger(&self, files: usize) {
+        self.inner
+            .l0_trigger_override
+            .store(files, Ordering::Relaxed);
+        self.inner.maybe_schedule_compaction();
+    }
+
+    /// The currently effective Level-0 compaction trigger.
+    pub fn l0_compaction_trigger(&self) -> usize {
+        self.inner
+            .effective_opts()
+            .level0_file_num_compaction_trigger
+    }
+
+    /// Currently configured memtable size.
+    pub fn write_buffer_size(&self) -> usize {
+        self.inner.current_write_buffer_size()
+    }
+
+    /// The options this database was opened with.
+    pub fn options(&self) -> &DbOptions {
+        &self.inner.opts
+    }
+
+    /// The filesystem hosting the SSTs.
+    pub fn fs(&self) -> &Arc<SimFs> {
+        &self.inner.fs
+    }
+
+    /// Block cache counters `(hits, misses)`.
+    pub fn block_cache_counters(&self) -> (u64, u64) {
+        self.inner.table_cache.block_cache().counters()
+    }
+
+    /// A multi-line human-readable statistics report (the
+    /// `GetProperty("rocksdb.stats")` analogue).
+    pub fn stats_report(&self) -> String {
+        use std::fmt::Write as _;
+        let stats = &self.inner.stats;
+        let shape = self.shape();
+        let ctl = self.controller_snapshot();
+        let (cache_hits, cache_misses) = self.block_cache_counters();
+        let mut out = String::new();
+        let _ = writeln!(out, "== xlsm stats: {} ==", self.inner.opts.db_path);
+        let _ = writeln!(
+            out,
+            "ops: puts={} deletes={} gets={} (mem {} / imm {} / L0 {} / Ln {} / miss {})",
+            stats.ticker(Ticker::Puts),
+            stats.ticker(Ticker::Deletes),
+            stats.ticker(Ticker::Gets),
+            stats.ticker(Ticker::GetHitMemtable),
+            stats.ticker(Ticker::GetHitImmutable),
+            stats.ticker(Ticker::GetHitL0),
+            stats.ticker(Ticker::GetHitLn),
+            stats.ticker(Ticker::GetMiss),
+        );
+        let _ = writeln!(
+            out,
+            "latency us: get p50/p90/p99 = {:.0}/{:.0}/{:.0}  write p50/p90/p99 = {:.0}/{:.0}/{:.0}",
+            stats.get_latency.quantile(0.5) as f64 / 1e3,
+            stats.get_latency.quantile(0.9) as f64 / 1e3,
+            stats.get_latency.quantile(0.99) as f64 / 1e3,
+            stats.write_latency.quantile(0.5) as f64 / 1e3,
+            stats.write_latency.quantile(0.9) as f64 / 1e3,
+            stats.write_latency.quantile(0.99) as f64 / 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "shape: files/level={:?} bytes/level={:?} imm={} mutable={}KB",
+            shape.files_per_level,
+            shape.bytes_per_level,
+            shape.immutables,
+            shape.mutable_bytes / 1024,
+        );
+        let _ = writeln!(
+            out,
+            "flush: n={} bytes={}  compaction: n={} read={} written={} trivial={}",
+            stats.ticker(Ticker::FlushCount),
+            stats.ticker(Ticker::FlushBytes),
+            stats.ticker(Ticker::CompactionCount),
+            stats.ticker(Ticker::CompactReadBytes),
+            stats.ticker(Ticker::CompactWriteBytes),
+            stats.ticker(Ticker::TrivialMoves),
+        );
+        let _ = writeln!(
+            out,
+            "stalls: delayed={} stopped={} total={}ms  controller: {:?} rate={}MB/s",
+            stats.ticker(Ticker::StallDelayedWrites),
+            stats.ticker(Ticker::StallStoppedWrites),
+            stats.ticker(Ticker::StallMicros) / 1_000,
+            ctl.level,
+            ctl.delayed_write_rate >> 20,
+        );
+        let _ = writeln!(
+            out,
+            "caches: block hit/miss = {cache_hits}/{cache_misses}  bloom useful={}  wal bytes={}",
+            stats.ticker(Ticker::BloomUseful),
+            stats.ticker(Ticker::WalBytes),
+        );
+        let _ = writeln!(
+            out,
+            "write groups: led={} joined={} avg waiting writers={:.2}",
+            stats.ticker(Ticker::WriteGroupsLed),
+            stats.ticker(Ticker::WritesJoinedGroup),
+            stats.avg_waiting_writers(),
+        );
+        out
+    }
+
+    /// Shuts down: stops background workers and joins them. Unflushed
+    /// memtables remain recoverable through the WAL.
+    pub fn close(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.flush_tx.close();
+        self.inner.compact_tx.close();
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            w.join();
+        }
+    }
+}
+
+/// Pinned scan cursor returned by [`Db::scan`]; holds the version alive so
+/// compaction cannot delete the files underneath it.
+pub struct DbScanner {
+    iter: DbIterator,
+    _version: Arc<Version>,
+}
+
+impl std::fmt::Debug for DbScanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.iter.fmt(f)
+    }
+}
+
+impl DbScanner {
+    /// Positions at the first visible entry.
+    ///
+    /// # Errors
+    ///
+    /// Read failures.
+    pub fn seek_to_first(&mut self) -> DbResult<bool> {
+        self.iter.seek_to_first()
+    }
+
+    /// Positions at the first visible entry with user key ≥ `key`.
+    ///
+    /// # Errors
+    ///
+    /// Read failures.
+    pub fn seek(&mut self, key: &[u8]) -> DbResult<bool> {
+        self.iter.seek(key)
+    }
+
+    /// Advances to the next visible user key.
+    ///
+    /// # Errors
+    ///
+    /// Read failures.
+    pub fn next(&mut self) -> DbResult<bool> {
+        self.iter.next()
+    }
+
+    /// Whether positioned on an entry.
+    pub fn valid(&self) -> bool {
+        self.iter.valid()
+    }
+
+    /// Current user key.
+    pub fn key(&self) -> &[u8] {
+        self.iter.key()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        self.iter.value()
+    }
+}
+
+/// An RAII snapshot handle; dropping it releases the pinned sequence.
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    seq: SequenceNumber,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").field("seq", &self.seq).finish()
+    }
+}
+
+impl Snapshot {
+    /// The pinned sequence number, for [`Db::get_at`].
+    pub fn sequence(&self) -> SequenceNumber {
+        self.seq
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut snaps = self.inner.snapshots.lock();
+        if let Some(pos) = snaps.iter().position(|s| *s == self.seq) {
+            snaps.swap_remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlsm_device::{profiles, SimDevice};
+    use xlsm_simfs::FsOptions;
+    use xlsm_sim::Runtime;
+
+    fn small_opts() -> DbOptions {
+        DbOptions {
+            write_buffer_size: 64 << 10,
+            target_file_size_base: 64 << 10,
+            max_bytes_for_level_base: 256 << 10,
+            block_cache_capacity: 256 << 10,
+            ..DbOptions::default()
+        }
+    }
+
+    fn open_db(opts: DbOptions) -> (Db, Arc<SimFs>) {
+        let fs = SimFs::new(
+            SimDevice::shared(profiles::optane_900p()),
+            FsOptions::default(),
+        );
+        let db = Db::open(Arc::clone(&fs), opts).unwrap();
+        (db, fs)
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            db.put(b"alpha", b"1").unwrap();
+            db.put(b"beta", b"2").unwrap();
+            assert_eq!(db.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+            db.put(b"alpha", b"1b").unwrap();
+            assert_eq!(db.get(b"alpha").unwrap(), Some(b"1b".to_vec()));
+            db.delete(b"alpha").unwrap();
+            assert_eq!(db.get(b"alpha").unwrap(), None);
+            assert_eq!(db.get(b"beta").unwrap(), Some(b"2".to_vec()));
+            assert_eq!(db.get(b"gamma").unwrap(), None);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn values_survive_flush_to_l0() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            for i in 0..100u32 {
+                db.put(format!("key{i:04}").as_bytes(), &[b'v'; 100]).unwrap();
+            }
+            db.flush().unwrap();
+            assert!(db.num_l0_files() >= 1);
+            for i in 0..100u32 {
+                assert_eq!(
+                    db.get(format!("key{i:04}").as_bytes()).unwrap(),
+                    Some(vec![b'v'; 100]),
+                    "key{i:04} lost after flush"
+                );
+            }
+            assert!(db.stats().ticker(Ticker::GetHitL0) > 0);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn heavy_writes_trigger_compaction_and_stay_readable() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            // ~4 MiB of data through a 64 KiB memtable => many flushes and
+            // at least one compaction into L1.
+            let value = vec![b'x'; 512];
+            for i in 0..8000u32 {
+                db.put(format!("key{:06}", i % 2000).as_bytes(), &value).unwrap();
+            }
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            let shape = db.shape();
+            assert!(
+                shape.files_per_level[1..].iter().any(|&n| n > 0),
+                "compaction should have populated deeper levels: {shape:?}"
+            );
+            assert!(db.stats().ticker(Ticker::CompactionCount) > 0);
+            for i in 0..2000u32 {
+                assert_eq!(
+                    db.get(format!("key{i:06}").as_bytes()).unwrap(),
+                    Some(value.clone()),
+                    "key{i:06} lost after compaction"
+                );
+            }
+            db.close();
+        });
+    }
+
+    #[test]
+    fn reopen_recovers_from_wal() {
+        Runtime::new().run(|| {
+            let (db, fs) = open_db(small_opts());
+            db.put(b"durable", b"yes").unwrap();
+            db.put(b"another", b"val").unwrap();
+            // No flush: data only in memtable + WAL.
+            db.close();
+            let db2 = Db::open(Arc::clone(&fs), small_opts()).unwrap();
+            assert_eq!(db2.get(b"durable").unwrap(), Some(b"yes".to_vec()));
+            assert_eq!(db2.get(b"another").unwrap(), Some(b"val".to_vec()));
+            // New writes still work and sequences did not regress.
+            db2.put(b"post", b"recovery").unwrap();
+            assert_eq!(db2.get(b"post").unwrap(), Some(b"recovery".to_vec()));
+            db2.close();
+        });
+    }
+
+    #[test]
+    fn reopen_recovers_ssts_and_wal_together() {
+        Runtime::new().run(|| {
+            let (db, fs) = open_db(small_opts());
+            for i in 0..200u32 {
+                db.put(format!("sst{i:04}").as_bytes(), b"on-disk").unwrap();
+            }
+            db.flush().unwrap();
+            db.put(b"wal-only", b"in-log").unwrap();
+            db.close();
+            let db2 = Db::open(Arc::clone(&fs), small_opts()).unwrap();
+            assert_eq!(db2.get(b"sst0100").unwrap(), Some(b"on-disk".to_vec()));
+            assert_eq!(db2.get(b"wal-only").unwrap(), Some(b"in-log".to_vec()));
+            db2.close();
+        });
+    }
+
+    #[test]
+    fn wal_disabled_loses_unflushed_data_on_reopen() {
+        Runtime::new().run(|| {
+            let opts = DbOptions {
+                enable_wal: false,
+                ..small_opts()
+            };
+            let (db, fs) = open_db(opts.clone());
+            db.put(b"volatile", b"gone").unwrap();
+            db.close();
+            let db2 = Db::open(Arc::clone(&fs), opts).unwrap();
+            assert_eq!(db2.get(b"volatile").unwrap(), None);
+            db2.close();
+        });
+    }
+
+    #[test]
+    fn scan_sees_merged_view() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            for i in 0..300u32 {
+                db.put(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+            // Overwrite some in the new memtable, delete others.
+            db.put(b"k0000", b"fresh").unwrap();
+            db.delete(b"k0001").unwrap();
+            let mut scan = db.scan().unwrap();
+            assert!(scan.seek_to_first().unwrap());
+            assert_eq!(scan.key(), b"k0000");
+            assert_eq!(scan.value(), b"fresh");
+            assert!(scan.next().unwrap());
+            assert_eq!(scan.key(), b"k0002", "deleted key skipped");
+            let mut count = 2;
+            while scan.next().unwrap() {
+                count += 1;
+            }
+            assert_eq!(count, 299, "300 keys minus 1 deletion");
+            // Seek.
+            assert!(scan.seek(b"k0150").unwrap());
+            assert_eq!(scan.key(), b"k0150");
+            drop(scan);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            db.put(b"k", b"v1").unwrap();
+            let snap = db.snapshot();
+            db.put(b"k", b"v2").unwrap();
+            assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+            assert_eq!(
+                db.get_at(b"k", snap.sequence()).unwrap(),
+                Some(b"v1".to_vec())
+            );
+            drop(snap);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            let db = Arc::new(db);
+            let mut handles = Vec::new();
+            for t in 0..8u32 {
+                let db = Arc::clone(&db);
+                handles.push(xlsm_sim::spawn(&format!("client{t}"), move || {
+                    for i in 0..200u32 {
+                        let key = format!("t{t}-k{i:04}");
+                        db.put(key.as_bytes(), key.as_bytes()).unwrap();
+                        if i % 3 == 0 {
+                            let read_key = format!("t{t}-k{:04}", i / 2);
+                            let v = db.get(read_key.as_bytes()).unwrap();
+                            assert_eq!(v, Some(read_key.into_bytes()));
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(db.stats().ticker(Ticker::Puts), 8 * 200);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn write_stalls_under_memtable_pressure() {
+        Runtime::new().run(|| {
+            // Tiny memtables, very slow device for flushing: writes must
+            // stall on the memtable budget but still complete correctly.
+            let fs = SimFs::new(
+                SimDevice::shared(profiles::intel_530_sata()),
+                FsOptions::default(),
+            );
+            let opts = DbOptions {
+                write_buffer_size: 64 << 10,
+                target_file_size_base: 64 << 10,
+                max_bytes_for_level_base: 256 << 10,
+                ..DbOptions::default()
+            };
+            let db = Db::open(Arc::clone(&fs), opts).unwrap();
+            let value = vec![b'x'; 1024];
+            for i in 0..512u32 {
+                db.put(format!("k{i:05}").as_bytes(), &value).unwrap();
+            }
+            assert!(
+                db.stats().ticker(Ticker::StallMicros) > 0
+                    || db.stats().ticker(Ticker::FlushCount) > 0,
+                "expected stall or flush activity"
+            );
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            assert_eq!(db.get(b"k00000").unwrap(), Some(value.clone()));
+            db.close();
+        });
+    }
+
+    #[test]
+    fn l0_slowdown_throttles_writes() {
+        Runtime::new().run(|| {
+            // Very low slowdown trigger and no compaction workers able to
+            // keep up (0 is invalid; use 1 worker + huge compaction debt).
+            let opts = DbOptions {
+                write_buffer_size: 64 << 10,
+                target_file_size_base: 64 << 10,
+                level0_file_num_compaction_trigger: 2,
+                level0_slowdown_writes_trigger: 3,
+                level0_stop_writes_trigger: 8,
+                max_background_compactions: 1,
+                ..DbOptions::default()
+            };
+            let fs = SimFs::new(
+                SimDevice::shared(profiles::intel_530_sata()),
+                FsOptions::default(),
+            );
+            let db = Db::open(Arc::clone(&fs), opts).unwrap();
+            let value = vec![b'z'; 1024];
+            for i in 0..1500u32 {
+                db.put(format!("k{i:06}").as_bytes(), &value).unwrap();
+            }
+            assert!(
+                db.stats().ticker(Ticker::StallDelayedWrites) > 0,
+                "L0 slowdown should have delayed some writes"
+            );
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            db.close();
+        });
+    }
+
+    #[test]
+    fn batched_writes_are_atomic() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            let mut batch = WriteBatch::new();
+            batch.put(b"a", b"1");
+            batch.put(b"b", b"2");
+            batch.delete(b"a");
+            db.write(batch).unwrap();
+            assert_eq!(db.get(b"a").unwrap(), None);
+            assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+            db.close();
+        });
+    }
+
+    #[test]
+    fn stats_report_mentions_key_sections() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            for i in 0..200u32 {
+                db.put(format!("k{i:04}").as_bytes(), &[b'v'; 200]).unwrap();
+            }
+            db.flush().unwrap();
+            let _ = db.get(b"k0001").unwrap();
+            let report = db.stats_report();
+            for needle in ["ops:", "latency us:", "shape:", "flush:", "stalls:", "caches:", "write groups:"] {
+                assert!(report.contains(needle), "missing {needle} in:\n{report}");
+            }
+            db.close();
+        });
+    }
+
+    #[test]
+    fn shutdown_rejects_new_writes() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            db.put(b"k", b"v").unwrap();
+            db.close();
+            assert!(matches!(db.put(b"k2", b"v"), Err(DbError::ShuttingDown)));
+        });
+    }
+
+    #[test]
+    fn set_write_buffer_size_changes_l0_geometry() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            assert_eq!(db.write_buffer_size(), 64 << 10);
+            db.set_write_buffer_size(256 << 10);
+            assert_eq!(db.write_buffer_size(), 256 << 10);
+            // Below the floor clamps.
+            db.set_write_buffer_size(1);
+            assert_eq!(db.write_buffer_size(), 64 << 10);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn dropped_tombstone_must_not_resurrect_older_value() {
+        // Regression: when a droppable tombstone is the FIRST version of a
+        // key seen by a compaction, the older value beneath it must still
+        // be shadowed (the per-key state reset must precede the drop
+        // decision).
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(DbOptions {
+                // Trigger compaction with few files so the tombstone file
+                // and the value file merge.
+                level0_file_num_compaction_trigger: 2,
+                ..small_opts()
+            });
+            for i in 0..300u32 {
+                db.put(format!("k{i:05}").as_bytes(), &[b'v'; 128]).unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..300u32 {
+                db.delete(format!("k{i:05}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            assert!(
+                db.stats().ticker(Ticker::CompactionCount) > 0,
+                "test requires a real compaction"
+            );
+            for i in 0..300u32 {
+                assert_eq!(
+                    db.get(format!("k{i:05}").as_bytes()).unwrap(),
+                    None,
+                    "key k{i:05} resurrected after compaction"
+                );
+            }
+            let mut scan = db.scan().unwrap();
+            assert!(!scan.seek_to_first().unwrap(), "scan must be empty");
+            drop(scan);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn tombstones_collapse_at_bottom_level() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            for i in 0..400u32 {
+                db.put(format!("k{i:05}").as_bytes(), &vec![b'v'; 256]).unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..400u32 {
+                db.delete(format!("k{i:05}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            for i in (0..400u32).step_by(37) {
+                assert_eq!(db.get(format!("k{i:05}").as_bytes()).unwrap(), None);
+            }
+            let mut scan = db.scan().unwrap();
+            assert!(!scan.seek_to_first().unwrap(), "everything was deleted");
+            drop(scan);
+            db.close();
+        });
+    }
+}

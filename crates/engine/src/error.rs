@@ -1,0 +1,47 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+use xlsm_simfs::FsError;
+
+/// Result alias for engine operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors surfaced by the key-value store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbError {
+    /// Filesystem-level failure.
+    Fs(FsError),
+    /// On-disk data failed checksum or structural validation.
+    Corruption(String),
+    /// The database is shutting down; the operation was not performed.
+    ShuttingDown,
+    /// Invalid argument or configuration.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Fs(e) => write!(f, "filesystem error: {e}"),
+            DbError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            DbError::ShuttingDown => write!(f, "database is shutting down"),
+            DbError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for DbError {
+    fn from(e: FsError) -> DbError {
+        DbError::Fs(e)
+    }
+}

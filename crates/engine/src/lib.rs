@@ -1,0 +1,66 @@
+//! # xlsm-engine — an LSM-tree key-value store (RocksDB 5.17 equivalent)
+//!
+//! The system under test for the ISPASS'20 storage-evolution study. It
+//! implements the mechanisms whose interaction with fast storage the paper
+//! analyzes:
+//!
+//! * a skiplist [`MemTable`] with mutable → immutable switching;
+//! * a write-ahead log ([`wal`]) with buffered appends and group commit;
+//! * SSTables ([`sst`]) with prefix-compressed blocks, optional bloom
+//!   filters, and a sharded decoded-block [`cache`];
+//! * leveled compaction with overlapping Level-0 semantics ([`version`],
+//!   [`compaction`]);
+//! * the **write controller of Algorithm 1** ([`controller`]) with a
+//!   pluggable [`controller::ThrottlePolicy`];
+//! * the **pipelined write path of Algorithm 2** ([`mod@write`]): one writer
+//!   queue, leader-selected batch groups, optional WAL/memtable pipelining.
+//!
+//! Everything runs on the [`xlsm_sim`] virtual clock against an
+//! [`xlsm_simfs`] filesystem; CPU work is charged from the calibrated
+//! [`costs`] model.
+//!
+//! ```
+//! use xlsm_device::{profiles, SimDevice};
+//! use xlsm_engine::{Db, DbOptions};
+//! use xlsm_simfs::{FsOptions, SimFs};
+//!
+//! xlsm_sim::Runtime::new().run(|| {
+//!     let fs = SimFs::new(SimDevice::shared(profiles::optane_900p()), FsOptions::default());
+//!     let db = Db::open(fs, DbOptions::default()).unwrap();
+//!     db.put(b"hello", b"world").unwrap();
+//!     assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
+//!     db.close();
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod bloom;
+pub mod cache;
+pub mod coding;
+pub mod compaction;
+pub mod controller;
+pub mod costs;
+pub mod crc32c;
+pub mod db;
+pub mod error;
+pub mod histogram;
+pub mod iterator;
+pub mod memtable;
+pub mod options;
+pub mod sst;
+pub mod stats;
+pub mod types;
+pub mod version;
+pub mod wal;
+pub mod write;
+
+pub use batch::WriteBatch;
+pub use db::Db;
+pub use error::{DbError, DbResult};
+pub use histogram::{Histogram, HistogramSummary};
+pub use memtable::MemTable;
+pub use options::DbOptions;
+pub use stats::{DbStats, Ticker};
+pub use types::SequenceNumber;

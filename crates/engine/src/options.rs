@@ -1,0 +1,190 @@
+//! Database configuration (the RocksDB 5.17 option surface the paper
+//! exercises, at scaled-down defaults).
+
+use crate::controller::{OriginalThrottlePolicy, ThrottlePolicy};
+use std::fmt;
+use std::sync::Arc;
+use xlsm_simfs::SimFs;
+
+/// Tuning knobs for a [`crate::Db`].
+///
+/// Defaults follow RocksDB 5.17 / `db_bench` defaults, geometrically scaled
+/// ~32× down (see `DESIGN.md`): a 64 MB memtable becomes 2 MB, etc. The
+/// *thresholds that drive behavior* — Level-0 slowdown/stop triggers, write
+/// buffer count, level size multiplier — are kept at their paper values.
+#[derive(Clone)]
+pub struct DbOptions {
+    /// Memtable size before it is switched to immutable (bytes).
+    pub write_buffer_size: usize,
+    /// Max memtables (mutable + immutable) before writes stop.
+    pub max_write_buffer_number: usize,
+    /// Number of L0 files that triggers a compaction.
+    pub level0_file_num_compaction_trigger: usize,
+    /// Number of L0 files that triggers write slowdown (paper: default 20).
+    pub level0_slowdown_writes_trigger: usize,
+    /// Number of L0 files that stops writes (paper: "36 by default").
+    pub level0_stop_writes_trigger: usize,
+    /// Target size of L1 (bytes).
+    pub max_bytes_for_level_base: u64,
+    /// Growth factor between levels.
+    pub max_bytes_for_level_multiplier: f64,
+    /// Target SST size for compaction outputs (bytes).
+    pub target_file_size_base: u64,
+    /// Number of levels.
+    pub num_levels: usize,
+    /// Compaction worker threads (low-priority pool).
+    pub max_background_compactions: usize,
+    /// Flush worker threads (high-priority pool).
+    pub max_background_flushes: usize,
+    /// Bloom bits per key; `0` disables blooms (the `db_bench` default the
+    /// paper runs with, which is why L0 file count hurts reads).
+    pub bloom_bits_per_key: usize,
+    /// SST block size (bytes).
+    pub block_size: usize,
+    /// Block cache capacity (bytes); decoded-block cache.
+    pub block_cache_capacity: usize,
+    /// Use the pipelined write path (Algorithm 2). When false, the group
+    /// leader also performs all memtable inserts.
+    pub pipelined_write: bool,
+    /// Maximum bytes gathered into one write batch group.
+    pub max_write_batch_group_size: usize,
+    /// Write a WAL record for each batch.
+    pub enable_wal: bool,
+    /// fsync the WAL on every commit (paper and db_bench default: off).
+    pub wal_sync: bool,
+    /// Background-flush the WAL's dirty pages every this many bytes
+    /// (`wal_bytes_per_sync` analogue; 0 disables).
+    pub wal_bytes_per_sync: usize,
+    /// Initial user-defined `delayed_write_rate` (bytes/s) — Algorithm 1.
+    pub delayed_write_rate: u64,
+    /// Throttling policy (Algorithm 1 by default; the two-stage case study
+    /// installs a different one).
+    pub throttle_policy: Arc<dyn ThrottlePolicy>,
+    /// Optional separate filesystem (device) for the WAL — the NVM-logging
+    /// case study (Section V-C).
+    pub wal_fs: Option<Arc<SimFs>>,
+    /// Root directory for this database inside the filesystem.
+    pub db_path: String,
+}
+
+impl fmt::Debug for DbOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DbOptions")
+            .field("write_buffer_size", &self.write_buffer_size)
+            .field("max_write_buffer_number", &self.max_write_buffer_number)
+            .field(
+                "level0_triggers",
+                &(
+                    self.level0_file_num_compaction_trigger,
+                    self.level0_slowdown_writes_trigger,
+                    self.level0_stop_writes_trigger,
+                ),
+            )
+            .field("pipelined_write", &self.pipelined_write)
+            .field("enable_wal", &self.enable_wal)
+            .field("bloom_bits_per_key", &self.bloom_bits_per_key)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for DbOptions {
+    fn default() -> DbOptions {
+        DbOptions {
+            write_buffer_size: 1 << 20, // 1 MiB (paper: 64 MB, scaled)
+            max_write_buffer_number: 2,
+            level0_file_num_compaction_trigger: 4,
+            level0_slowdown_writes_trigger: 20,
+            level0_stop_writes_trigger: 36,
+            max_bytes_for_level_base: 4 << 20, // 4 MiB (paper: 256 MB, scaled; keeps the 1:4 memtable:L1 ratio)
+            max_bytes_for_level_multiplier: 10.0,
+            target_file_size_base: 1 << 20,
+            num_levels: 7,
+            max_background_compactions: 1, // db_bench / RocksDB 5.17 default
+            max_background_flushes: 1,
+            bloom_bits_per_key: 0,
+            block_size: 4096,
+            block_cache_capacity: 2 << 20,
+            pipelined_write: true,
+            max_write_batch_group_size: 1 << 20,
+            enable_wal: true,
+            wal_sync: false,
+            wal_bytes_per_sync: 16 << 10, // 512 KB / 32 (scaled, like the rest of the geometry)
+            delayed_write_rate: 16 << 20, // 16 MB/s
+            throttle_policy: Arc::new(OriginalThrottlePolicy),
+            wal_fs: None,
+            db_path: "db".to_owned(),
+        }
+    }
+}
+
+impl DbOptions {
+    /// Target size in bytes for level `n` (1-based; L0 is file-count based).
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        let mut size = self.max_bytes_for_level_base as f64;
+        for _ in 1..level {
+            size *= self.max_bytes_for_level_multiplier;
+        }
+        size as u64
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.write_buffer_size < 64 << 10 {
+            return Err("write_buffer_size must be at least 64 KiB".into());
+        }
+        if self.max_write_buffer_number < 2 {
+            return Err("max_write_buffer_number must be >= 2".into());
+        }
+        if self.level0_slowdown_writes_trigger < self.level0_file_num_compaction_trigger {
+            return Err("slowdown trigger must be >= compaction trigger".into());
+        }
+        if self.level0_stop_writes_trigger < self.level0_slowdown_writes_trigger {
+            return Err("stop trigger must be >= slowdown trigger".into());
+        }
+        if self.num_levels < 2 || self.num_levels > 12 {
+            return Err("num_levels must be in 2..=12".into());
+        }
+        if self.block_size < 256 {
+            return Err("block_size must be >= 256".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_paper_triggers() {
+        let o = DbOptions::default();
+        o.validate().unwrap();
+        assert_eq!(o.level0_slowdown_writes_trigger, 20);
+        assert_eq!(o.level0_stop_writes_trigger, 36);
+        assert_eq!(o.max_write_buffer_number, 2);
+        assert_eq!(o.bloom_bits_per_key, 0, "db_bench default: no bloom");
+    }
+
+    #[test]
+    fn level_targets_multiply() {
+        let o = DbOptions::default();
+        assert_eq!(o.max_bytes_for_level(1), 4 << 20);
+        assert_eq!(o.max_bytes_for_level(2), 40 << 20);
+        assert_eq!(o.max_bytes_for_level(3), 400 << 20);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut o = DbOptions::default();
+        o.level0_stop_writes_trigger = 3;
+        assert!(o.validate().is_err());
+        let mut o2 = DbOptions::default();
+        o2.write_buffer_size = 1024;
+        assert!(o2.validate().is_err());
+    }
+}

@@ -1,0 +1,906 @@
+//! Sorted String Table: block format, builder and reader.
+//!
+//! Layout (LevelDB-flavored):
+//!
+//! ```text
+//! [data block 0][crc32] [data block 1][crc32] …
+//! [bloom block]                (optional)
+//! [index block]                (last-key, offset, size per data block)
+//! [properties block]           (entry count, smallest/largest internal key)
+//! [footer: 6×u64 + magic u64]
+//! ```
+//!
+//! Data blocks use shared-prefix encoding with restart points every
+//! [`RESTART_INTERVAL`] entries. Readers go through the decoded-block cache;
+//! a miss charges the block read (filesystem + device) and the decode CPU.
+
+use crate::bloom::BloomFilter;
+use crate::cache::{Block, BlockCache};
+use crate::coding::*;
+use crate::costs;
+use crate::crc32c;
+use crate::error::{DbError, DbResult};
+use crate::stats::{DbStats, Ticker};
+use crate::types::{self, compare_internal};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use xlsm_simfs::FileHandle;
+
+/// Restart-point spacing within a data block.
+pub const RESTART_INTERVAL: usize = 16;
+const FOOTER_SIZE: usize = 6 * 8 + 8;
+const MAGIC: u64 = 0x584c_534d_5353_5431; // "XLSMSST1"
+
+/// SST file names: `<db>/<number>.sst`.
+pub fn sst_file_name(db_path: &str, number: u64) -> String {
+    format!("{db_path}/{number:06}.sst")
+}
+
+// ---------------------------------------------------------------------------
+// Block building/decoding
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    count_since_restart: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockBuilder {
+    fn add(&mut self, key: &[u8], value: &[u8]) {
+        let mut shared = 0usize;
+        if self.count_since_restart < RESTART_INTERVAL && !self.last_key.is_empty() {
+            let max = self.last_key.len().min(key.len());
+            while shared < max && self.last_key[shared] == key[shared] {
+                shared += 1;
+            }
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.count_since_restart = 0;
+        }
+        put_varint64(&mut self.buf, shared as u64);
+        put_varint64(&mut self.buf, (key.len() - shared) as u64);
+        put_varint64(&mut self.buf, value.len() as u64);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key = key.to_vec();
+        self.count_since_restart += 1;
+        self.entries += 1;
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.restarts.is_empty() {
+            self.restarts.push(0);
+        }
+        for r in &self.restarts {
+            put_fixed32(&mut self.buf, *r);
+        }
+        put_fixed32(&mut self.buf, self.restarts.len() as u32);
+        self.buf
+    }
+
+    fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 8
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+/// Verifies the trailing CRC of a framed block and decodes it.
+///
+/// # Errors
+///
+/// [`DbError::Corruption`] on checksum or structural failures.
+pub fn decode_framed(framed: &[u8], file_number: u64) -> DbResult<Block> {
+    if framed.len() < 4 {
+        return Err(DbError::Corruption("short block".into()));
+    }
+    let (data, crc_raw) = framed.split_at(framed.len() - 4);
+    let stored = crc32c::unmask(get_fixed32(crc_raw, 0));
+    if stored != crc32c::crc32c(data) {
+        return Err(DbError::Corruption(format!(
+            "block crc mismatch in file {file_number}"
+        )));
+    }
+    xlsm_sim::sleep_nanos(costs::block_decode_ns(data.len()));
+    decode_block(data)
+}
+
+/// Decodes a serialized data block into its entry list.
+///
+/// # Errors
+///
+/// [`DbError::Corruption`] on any structural violation.
+pub fn decode_block(data: &[u8]) -> DbResult<Block> {
+    if data.len() < 8 {
+        return Err(DbError::Corruption("block too small".into()));
+    }
+    let n_restarts = get_fixed32(data, data.len() - 4) as usize;
+    let restarts_off = data
+        .len()
+        .checked_sub(4 + n_restarts * 4)
+        .ok_or_else(|| DbError::Corruption("bad restart count".into()))?;
+    let mut entries = Vec::new();
+    let mut off = 0usize;
+    let mut last_key: Vec<u8> = Vec::new();
+    while off < restarts_off {
+        let shared = get_varint64(data, &mut off)
+            .ok_or_else(|| DbError::Corruption("bad shared len".into()))? as usize;
+        let non_shared = get_varint64(data, &mut off)
+            .ok_or_else(|| DbError::Corruption("bad non-shared len".into()))?
+            as usize;
+        let vlen = get_varint64(data, &mut off)
+            .ok_or_else(|| DbError::Corruption("bad value len".into()))? as usize;
+        if off + non_shared + vlen > restarts_off || shared > last_key.len() {
+            return Err(DbError::Corruption("block entry out of bounds".into()));
+        }
+        let mut key = last_key[..shared].to_vec();
+        key.extend_from_slice(&data[off..off + non_shared]);
+        off += non_shared;
+        let value = data[off..off + vlen].to_vec();
+        off += vlen;
+        last_key = key.clone();
+        entries.push((key, value));
+    }
+    Ok(Block {
+        entries,
+        raw_size: data.len(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Table builder
+// ---------------------------------------------------------------------------
+
+/// Summary of a finished table, destined for the version manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableProperties {
+    /// File size in bytes.
+    pub file_size: u64,
+    /// Number of entries.
+    pub num_entries: u64,
+    /// Smallest internal key.
+    pub smallest: Vec<u8>,
+    /// Largest internal key.
+    pub largest: Vec<u8>,
+}
+
+/// Streams sorted internal entries into an SST file.
+#[derive(Debug)]
+pub struct TableBuilder {
+    file: FileHandle,
+    block_size: usize,
+    bloom_bits: usize,
+    block: BlockBuilder,
+    index: Vec<(Vec<u8>, u64, u64)>, // (last key, offset, size)
+    user_keys: Vec<Vec<u8>>,         // for bloom (if enabled)
+    offset: u64,
+    num_entries: u64,
+    smallest: Vec<u8>,
+    largest: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Starts building into `file`.
+    pub fn new(file: FileHandle, block_size: usize, bloom_bits: usize) -> TableBuilder {
+        TableBuilder {
+            file,
+            block_size,
+            bloom_bits,
+            block: BlockBuilder::default(),
+            index: Vec::new(),
+            user_keys: Vec::new(),
+            offset: 0,
+            num_entries: 0,
+            smallest: Vec::new(),
+            largest: Vec::new(),
+        }
+    }
+
+    /// Adds an entry; keys must arrive in strictly increasing internal-key
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from flushing a filled block.
+    pub fn add(&mut self, ikey: &[u8], value: &[u8]) -> DbResult<()> {
+        debug_assert!(
+            self.largest.is_empty() || compare_internal(&self.largest, ikey) == Ordering::Less,
+            "keys must be added in order"
+        );
+        if self.smallest.is_empty() {
+            self.smallest = ikey.to_vec();
+        }
+        self.largest = ikey.to_vec();
+        if self.bloom_bits > 0 {
+            self.user_keys.push(types::user_key(ikey).to_vec());
+        }
+        self.block.add(ikey, value);
+        self.num_entries += 1;
+        if self.block.size_estimate() >= self.block_size {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> DbResult<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let last_key = self.block.last_key.clone();
+        let block = std::mem::take(&mut self.block);
+        let data = block.finish();
+        let crc = crc32c::masked(crc32c::crc32c(&data));
+        let mut framed = data;
+        put_fixed32(&mut framed, crc);
+        let size = framed.len() as u64;
+        self.file.append(&framed)?;
+        self.index.push((last_key, self.offset, size));
+        self.offset += size;
+        Ok(())
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Bytes written so far (flushed blocks).
+    pub fn file_size(&self) -> u64 {
+        self.offset
+    }
+
+    /// Finishes the table: writes bloom/index/properties/footer and syncs.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors; building an empty table is an
+    /// [`DbError::InvalidArgument`].
+    pub fn finish(mut self) -> DbResult<TableProperties> {
+        if self.num_entries == 0 {
+            return Err(DbError::InvalidArgument("empty table".into()));
+        }
+        self.flush_block()?;
+
+        // Bloom block.
+        let bloom_off = self.offset;
+        let mut bloom_len = 0u64;
+        if self.bloom_bits > 0 {
+            let keys: Vec<&[u8]> = self.user_keys.iter().map(|k| k.as_slice()).collect();
+            let filter = BloomFilter::new(self.bloom_bits).build(&keys);
+            bloom_len = filter.len() as u64;
+            self.file.append(&filter)?;
+            self.offset += bloom_len;
+        }
+
+        // Index block.
+        let index_off = self.offset;
+        let mut index_buf = Vec::new();
+        put_varint64(&mut index_buf, self.index.len() as u64);
+        for (key, off, size) in &self.index {
+            put_length_prefixed(&mut index_buf, key);
+            put_varint64(&mut index_buf, *off);
+            put_varint64(&mut index_buf, *size);
+        }
+        let index_len = index_buf.len() as u64;
+        self.file.append(&index_buf)?;
+        self.offset += index_len;
+
+        // Properties block.
+        let props_off = self.offset;
+        let mut props = Vec::new();
+        put_varint64(&mut props, self.num_entries);
+        put_length_prefixed(&mut props, &self.smallest);
+        put_length_prefixed(&mut props, &self.largest);
+        let props_len = props.len() as u64;
+        self.file.append(&props)?;
+        self.offset += props_len;
+
+        // Footer.
+        let mut footer = Vec::with_capacity(FOOTER_SIZE);
+        put_fixed64(&mut footer, bloom_off);
+        put_fixed64(&mut footer, bloom_len);
+        put_fixed64(&mut footer, index_off);
+        put_fixed64(&mut footer, index_len);
+        put_fixed64(&mut footer, props_off);
+        put_fixed64(&mut footer, props_len);
+        put_fixed64(&mut footer, MAGIC);
+        self.file.append(&footer)?;
+        self.offset += footer.len() as u64;
+
+        self.file.sync()?;
+        Ok(TableProperties {
+            file_size: self.offset,
+            num_entries: self.num_entries,
+            smallest: self.smallest,
+            largest: self.largest,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table reader
+// ---------------------------------------------------------------------------
+
+/// Open handle to one SST: parsed index + bloom, block access via cache.
+pub struct TableReader {
+    file: FileHandle,
+    file_number: u64,
+    cache: Arc<BlockCache>,
+    index: Vec<(Vec<u8>, u64, u64)>,
+    bloom: Option<Vec<u8>>,
+    props: TableProperties,
+}
+
+impl std::fmt::Debug for TableReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableReader")
+            .field("file_number", &self.file_number)
+            .field("entries", &self.props.num_entries)
+            .field("blocks", &self.index.len())
+            .finish()
+    }
+}
+
+impl TableReader {
+    /// Opens a finished table, reading footer, properties, index and bloom.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] on format violations; filesystem errors pass
+    /// through.
+    pub fn open(
+        file: FileHandle,
+        file_number: u64,
+        cache: Arc<BlockCache>,
+    ) -> DbResult<TableReader> {
+        let size = file.len();
+        if size < FOOTER_SIZE as u64 {
+            return Err(DbError::Corruption("file smaller than footer".into()));
+        }
+        let footer = file.read_at(size - FOOTER_SIZE as u64, FOOTER_SIZE)?;
+        if get_fixed64(&footer, 48) != MAGIC {
+            return Err(DbError::Corruption("bad magic".into()));
+        }
+        let bloom_off = get_fixed64(&footer, 0);
+        let bloom_len = get_fixed64(&footer, 8);
+        let index_off = get_fixed64(&footer, 16);
+        let index_len = get_fixed64(&footer, 24);
+        let props_off = get_fixed64(&footer, 32);
+        let props_len = get_fixed64(&footer, 40);
+
+        let index_raw = file.read_at(index_off, index_len as usize)?;
+        let mut off = 0usize;
+        let n = get_varint64(&index_raw, &mut off)
+            .ok_or_else(|| DbError::Corruption("bad index count".into()))?;
+        let mut index = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let key = get_length_prefixed(&index_raw, &mut off)
+                .ok_or_else(|| DbError::Corruption("bad index key".into()))?
+                .to_vec();
+            let boff = get_varint64(&index_raw, &mut off)
+                .ok_or_else(|| DbError::Corruption("bad index offset".into()))?;
+            let bsize = get_varint64(&index_raw, &mut off)
+                .ok_or_else(|| DbError::Corruption("bad index size".into()))?;
+            index.push((key, boff, bsize));
+        }
+
+        let bloom = if bloom_len > 0 {
+            Some(file.read_at(bloom_off, bloom_len as usize)?)
+        } else {
+            None
+        };
+
+        let props_raw = file.read_at(props_off, props_len as usize)?;
+        let mut poff = 0usize;
+        let num_entries = get_varint64(&props_raw, &mut poff)
+            .ok_or_else(|| DbError::Corruption("bad props".into()))?;
+        let smallest = get_length_prefixed(&props_raw, &mut poff)
+            .ok_or_else(|| DbError::Corruption("bad smallest".into()))?
+            .to_vec();
+        let largest = get_length_prefixed(&props_raw, &mut poff)
+            .ok_or_else(|| DbError::Corruption("bad largest".into()))?
+            .to_vec();
+
+        Ok(TableReader {
+            file,
+            file_number,
+            cache,
+            index,
+            bloom,
+            props: TableProperties {
+                file_size: size,
+                num_entries,
+                smallest,
+                largest,
+            },
+        })
+    }
+
+    /// Table properties (entry count, key range).
+    pub fn properties(&self) -> &TableProperties {
+        &self.props
+    }
+
+    /// Number of data blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Loads block `i` through the cache, charging read + decode costs.
+    fn block(&self, i: usize, stats: &DbStats) -> DbResult<Arc<Block>> {
+        let (_, off, size) = self.index[i];
+        let key = (self.file_number, off);
+        if let Some(b) = self.cache.get(&key) {
+            stats.bump(Ticker::BlockCacheHit);
+            return Ok(b);
+        }
+        stats.bump(Ticker::BlockCacheMiss);
+        let framed = self.file.read_at(off, size as usize)?;
+        let block = Arc::new(decode_framed(&framed, self.file_number)?);
+        self.cache.insert(key, Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Index of the first block whose last key is ≥ `ikey`, or None.
+    fn block_for(&self, ikey: &[u8]) -> Option<usize> {
+        xlsm_sim::sleep_nanos(costs::binary_search_ns(self.index.len() as u64));
+        let idx = self
+            .index
+            .partition_point(|(last, _, _)| compare_internal(last, ikey) == Ordering::Less);
+        (idx < self.index.len()).then_some(idx)
+    }
+
+    /// Point lookup: returns the first entry with internal key ≥ `lookup`
+    /// whose user key equals `user_key`, as `(ikey, value)`.
+    ///
+    /// # Errors
+    ///
+    /// Corruption or filesystem errors.
+    pub fn get(
+        &self,
+        lookup: &[u8],
+        user_key: &[u8],
+        stats: &DbStats,
+    ) -> DbResult<Option<(Vec<u8>, Vec<u8>)>> {
+        xlsm_sim::sleep_nanos(costs::TABLE_LOOKUP_BASE_NS);
+        if let Some(bloom) = &self.bloom {
+            xlsm_sim::sleep_nanos(costs::BLOOM_CHECK_NS);
+            if !BloomFilter::may_contain(bloom, user_key) {
+                stats.bump(Ticker::BloomUseful);
+                return Ok(None);
+            }
+        }
+        let Some(bi) = self.block_for(lookup) else {
+            return Ok(None);
+        };
+        let block = self.block(bi, stats)?;
+        xlsm_sim::sleep_nanos(costs::binary_search_ns(block.entries.len() as u64));
+        let pos = block
+            .entries
+            .partition_point(|(k, _)| compare_internal(k, lookup) == Ordering::Less);
+        if pos >= block.entries.len() {
+            return Ok(None);
+        }
+        let (k, v) = &block.entries[pos];
+        if types::user_key(k) != user_key {
+            return Ok(None);
+        }
+        Ok(Some((k.clone(), v.clone())))
+    }
+
+    /// Iterator over the whole table.
+    pub fn iter(self: &Arc<Self>, stats: Arc<DbStats>) -> TableIterator {
+        TableIterator {
+            table: Arc::clone(self),
+            stats,
+            block_idx: 0,
+            block: None,
+            entry_idx: 0,
+            readahead: false,
+            ra_buf: None,
+        }
+    }
+
+    /// Iterator with sequential readahead (compaction-style access): before
+    /// decoding a block past the prefetch watermark, the next
+    /// [`READAHEAD_BYTES`] of the file are pulled into the page cache with
+    /// one coalesced device read.
+    pub fn iter_with_readahead(self: &Arc<Self>, stats: Arc<DbStats>) -> TableIterator {
+        TableIterator {
+            readahead: true,
+            ..self.iter(stats)
+        }
+    }
+}
+
+/// Sequential readahead window for compaction-style iteration (RocksDB's
+/// `compaction_readahead_size` default is 2 MB on disks; scaled here).
+pub const READAHEAD_BYTES: usize = 256 << 10;
+
+/// Sequential/seekable iterator over a table's entries.
+pub struct TableIterator {
+    table: Arc<TableReader>,
+    stats: Arc<DbStats>,
+    block_idx: usize,
+    block: Option<Arc<Block>>,
+    entry_idx: usize,
+    readahead: bool,
+    /// Private readahead buffer `(file offset, bytes)`: compaction reads
+    /// large sequential spans once and decodes blocks from process memory,
+    /// independent of page-cache pressure (and without polluting the block
+    /// cache).
+    ra_buf: Option<(u64, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for TableIterator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableIterator")
+            .field("file", &self.table.file_number)
+            .field("block_idx", &self.block_idx)
+            .finish()
+    }
+}
+
+impl TableIterator {
+    fn load_block(&mut self, i: usize) -> DbResult<bool> {
+        if i >= self.table.index.len() {
+            self.block = None;
+            return Ok(false);
+        }
+        if self.readahead {
+            let (_, off, size) = self.table.index[i];
+            let in_buf = self
+                .ra_buf
+                .as_ref()
+                .is_some_and(|(start, buf)| off >= *start && off + size <= *start + buf.len() as u64);
+            if !in_buf {
+                let want = (size as usize).max(READAHEAD_BYTES);
+                let avail = (self.table.file.len() - off) as usize;
+                let len = want.min(avail);
+                let buf = self.table.file.read_at(off, len)?;
+                self.ra_buf = Some((off, buf));
+            }
+            let (start, buf) = self.ra_buf.as_ref().unwrap();
+            let lo = (off - start) as usize;
+            let framed = &buf[lo..lo + size as usize];
+            self.block_idx = i;
+            self.block = Some(Arc::new(decode_framed(framed, self.table.file_number)?));
+            return Ok(true);
+        }
+        self.block_idx = i;
+        self.block = Some(self.table.block(i, &self.stats)?);
+        Ok(true)
+    }
+
+    /// Positions at the first entry.
+    ///
+    /// # Errors
+    ///
+    /// Block read/decode failures.
+    pub fn seek_to_first(&mut self) -> DbResult<bool> {
+        self.entry_idx = 0;
+        self.load_block(0)
+    }
+
+    /// Positions at the first entry with internal key ≥ `ikey`.
+    ///
+    /// # Errors
+    ///
+    /// Block read/decode failures.
+    pub fn seek(&mut self, ikey: &[u8]) -> DbResult<bool> {
+        match self.table.block_for(ikey) {
+            None => {
+                self.block = None;
+                Ok(false)
+            }
+            Some(bi) => {
+                if !self.load_block(bi)? {
+                    return Ok(false);
+                }
+                let block = self.block.as_ref().unwrap();
+                self.entry_idx = block
+                    .entries
+                    .partition_point(|(k, _)| compare_internal(k, ikey) == Ordering::Less);
+                if self.entry_idx >= block.entries.len() {
+                    // Key is past this block's last entry: move on.
+                    self.entry_idx = 0;
+                    return self.load_block(bi + 1);
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Advances to the next entry.
+    ///
+    /// # Errors
+    ///
+    /// Block read/decode failures.
+    pub fn next(&mut self) -> DbResult<bool> {
+        let Some(block) = &self.block else {
+            return Ok(false);
+        };
+        self.entry_idx += 1;
+        if self.entry_idx < block.entries.len() {
+            return Ok(true);
+        }
+        self.entry_idx = 0;
+        self.load_block(self.block_idx + 1)
+    }
+
+    /// Whether positioned at a valid entry.
+    pub fn valid(&self) -> bool {
+        self.block
+            .as_ref()
+            .is_some_and(|b| self.entry_idx < b.entries.len())
+    }
+
+    /// Current internal key.
+    pub fn key(&self) -> Vec<u8> {
+        self.block.as_ref().unwrap().entries[self.entry_idx].0.clone()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> Vec<u8> {
+        self.block.as_ref().unwrap().entries[self.entry_idx].1.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, make_lookup_key, ValueType};
+    use xlsm_device::{profiles, SimDevice};
+    use xlsm_simfs::{FsOptions, SimFs};
+    use xlsm_sim::Runtime;
+
+    fn fs() -> Arc<SimFs> {
+        SimFs::new(
+            SimDevice::shared(profiles::optane_900p()),
+            FsOptions::default(),
+        )
+    }
+
+    fn build_table(
+        fs: &Arc<SimFs>,
+        name: &str,
+        n: u32,
+        bloom: usize,
+    ) -> (Arc<TableReader>, Arc<BlockCache>) {
+        let f = fs.create(name).unwrap();
+        let mut b = TableBuilder::new(f, 4096, bloom);
+        for i in 0..n {
+            let k = make_internal_key(format!("key{i:06}").as_bytes(), 1, ValueType::Value);
+            b.add(&k, format!("value-{i}").as_bytes()).unwrap();
+        }
+        let props = b.finish().unwrap();
+        assert_eq!(props.num_entries, n as u64);
+        let cache = BlockCache::new(1 << 20);
+        let reader =
+            TableReader::open(fs.open(name).unwrap(), 1, Arc::clone(&cache)).unwrap();
+        (Arc::new(reader), cache)
+    }
+
+    #[test]
+    fn build_and_get_all_keys() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let (t, _) = build_table(&fs, "t.sst", 500, 0);
+            let stats = DbStats::new();
+            for i in (0..500).step_by(7) {
+                let uk = format!("key{i:06}");
+                let lookup = make_lookup_key(uk.as_bytes(), u64::MAX >> 8);
+                let r = t.get(&lookup, uk.as_bytes(), &stats).unwrap();
+                let (_, v) = r.expect("key must be found");
+                assert_eq!(v, format!("value-{i}").into_bytes());
+            }
+            // Absent keys.
+            let lookup = make_lookup_key(b"zzz", u64::MAX >> 8);
+            assert!(t.get(&lookup, b"zzz", &stats).unwrap().is_none());
+            let lookup = make_lookup_key(b"key000500", u64::MAX >> 8);
+            assert!(t.get(&lookup, b"key000500", &stats).unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn properties_record_range() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let (t, _) = build_table(&fs, "t.sst", 500, 0);
+            let p = t.properties();
+            assert_eq!(types::user_key(&p.smallest), b"key000000");
+            assert_eq!(types::user_key(&p.largest), b"key000499");
+            assert!(t.num_blocks() > 1, "500*~20B entries should span blocks");
+        });
+    }
+
+    #[test]
+    fn bloom_skips_absent_keys() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let (t, _) = build_table(&fs, "t.sst", 300, 10);
+            let stats = DbStats::new();
+            for i in 0..200 {
+                let uk = format!("nope{i:06}");
+                let lookup = make_lookup_key(uk.as_bytes(), u64::MAX >> 8);
+                assert!(t.get(&lookup, uk.as_bytes(), &stats).unwrap().is_none());
+            }
+            assert!(
+                stats.ticker(Ticker::BloomUseful) > 150,
+                "bloom should reject most absent probes: {}",
+                stats.ticker(Ticker::BloomUseful)
+            );
+        });
+    }
+
+    #[test]
+    fn cache_hit_on_second_read() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let (t, cache) = build_table(&fs, "t.sst", 200, 0);
+            let stats = DbStats::new();
+            let uk = b"key000050";
+            let lookup = make_lookup_key(uk, u64::MAX >> 8);
+            t.get(&lookup, uk, &stats).unwrap();
+            let (h0, m0) = cache.counters();
+            t.get(&lookup, uk, &stats).unwrap();
+            let (h1, m1) = cache.counters();
+            assert_eq!(m1, m0, "second read must not miss");
+            assert_eq!(h1, h0 + 1);
+        });
+    }
+
+    #[test]
+    fn iterator_scans_in_order() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let (t, _) = build_table(&fs, "t.sst", 300, 0);
+            let stats = DbStats::shared();
+            let mut it = t.iter(stats);
+            assert!(it.seek_to_first().unwrap());
+            let mut count = 0;
+            let mut last: Option<Vec<u8>> = None;
+            while it.valid() {
+                let k = it.key();
+                if let Some(l) = &last {
+                    assert_eq!(compare_internal(l, &k), Ordering::Less);
+                }
+                last = Some(k);
+                count += 1;
+                it.next().unwrap();
+            }
+            assert_eq!(count, 300);
+        });
+    }
+
+    #[test]
+    fn iterator_seek_lands_correctly() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let (t, _) = build_table(&fs, "t.sst", 300, 0);
+            let stats = DbStats::shared();
+            let mut it = t.iter(stats);
+            let target = make_lookup_key(b"key000123", u64::MAX >> 8);
+            assert!(it.seek(&target).unwrap());
+            assert_eq!(types::user_key(&it.key()), b"key000123");
+            // Seek between keys lands on the next one.
+            let target = make_lookup_key(b"key000123x", u64::MAX >> 8);
+            assert!(it.seek(&target).unwrap());
+            assert_eq!(types::user_key(&it.key()), b"key000124");
+            // Seek past the end invalidates.
+            let target = make_lookup_key(b"zzz", u64::MAX >> 8);
+            assert!(!it.seek(&target).unwrap());
+            assert!(!it.valid());
+        });
+    }
+
+    #[test]
+    fn corruption_detected() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let f = fs.create("bad.sst").unwrap();
+            f.append(b"garbage that is long enough to hold a footer maybe..............")
+                .unwrap();
+            let cache = BlockCache::new(1 << 20);
+            let r = TableReader::open(fs.open("bad.sst").unwrap(), 9, cache);
+            assert!(matches!(r, Err(DbError::Corruption(_))));
+        });
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let f = fs.create("e.sst").unwrap();
+            let b = TableBuilder::new(f, 4096, 0);
+            assert!(matches!(b.finish(), Err(DbError::InvalidArgument(_))));
+        });
+    }
+
+    #[test]
+    fn block_roundtrip_with_restarts() {
+        // Pure block-level test: shared-prefix encoding round-trips.
+        let mut b = BlockBuilder::default();
+        let keys: Vec<Vec<u8>> = (0..50)
+            .map(|i| make_internal_key(format!("prefix/common/{i:04}").as_bytes(), 1, ValueType::Value))
+            .collect();
+        for k in &keys {
+            b.add(k, b"val");
+        }
+        let data = b.finish();
+        let block = decode_block(&data).unwrap();
+        assert_eq!(block.entries.len(), 50);
+        for (i, (k, v)) in block.entries.iter().enumerate() {
+            assert_eq!(k, &keys[i]);
+            assert_eq!(v, b"val");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::stats::DbStats;
+    use crate::types::{make_internal_key, make_lookup_key, ValueType};
+    use proptest::prelude::*;
+    use xlsm_device::{profiles, SimDevice};
+    use xlsm_simfs::{FsOptions, SimFs};
+    use xlsm_sim::Runtime;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Arbitrary (sorted, deduped) user keys and values round-trip
+        /// through build → open → get / full scan, with and without blooms.
+        #[test]
+        fn table_roundtrip_arbitrary_keys(
+            keys in prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..24), 1..120),
+            bloom in prop::bool::ANY,
+        ) {
+            let keys: Vec<Vec<u8>> = keys.into_iter().collect();
+            Runtime::new().run(move || {
+                let fs = SimFs::new(
+                    SimDevice::shared(profiles::optane_900p()),
+                    FsOptions::default(),
+                );
+                let file = fs.create("p.sst").unwrap();
+                let mut b = TableBuilder::new(file, 512, if bloom { 10 } else { 0 });
+                for (i, k) in keys.iter().enumerate() {
+                    let ik = make_internal_key(k, i as u64 + 1, ValueType::Value);
+                    b.add(&ik, format!("v{i}").as_bytes()).unwrap();
+                }
+                let props = b.finish().unwrap();
+                assert_eq!(props.num_entries, keys.len() as u64);
+                let cache = crate::cache::BlockCache::new(1 << 20);
+                let t = std::sync::Arc::new(
+                    TableReader::open(fs.open("p.sst").unwrap(), 1, cache).unwrap(),
+                );
+                let stats = DbStats::new();
+                // Every key is found with its value.
+                for (i, k) in keys.iter().enumerate() {
+                    let lookup = make_lookup_key(k, u64::MAX >> 8);
+                    let got = t.get(&lookup, k, &stats).unwrap();
+                    let (_, v) = got.unwrap_or_else(|| panic!("key {i} missing"));
+                    assert_eq!(v, format!("v{i}").into_bytes());
+                }
+                // Full scan yields exactly the inserted entries in order.
+                let mut it = t.iter(DbStats::shared());
+                let mut n = 0usize;
+                let mut ok = it.seek_to_first().unwrap();
+                while ok {
+                    let ik = it.key();
+                    assert_eq!(types::user_key(&ik), &keys[n][..]);
+                    n += 1;
+                    ok = it.next().unwrap();
+                }
+                assert_eq!(n, keys.len());
+            });
+        }
+    }
+}

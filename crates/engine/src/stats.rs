@@ -1,0 +1,183 @@
+//! Engine-wide counters, gauges and latency histograms.
+
+use crate::histogram::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic event counters (RocksDB "tickers").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+#[allow(missing_docs)]
+pub enum Ticker {
+    Puts,
+    Deletes,
+    Gets,
+    GetHitMemtable,
+    GetHitImmutable,
+    GetHitL0,
+    GetHitLn,
+    GetMiss,
+    L0FilesSearched,
+    BloomUseful,
+    BlockCacheHit,
+    BlockCacheMiss,
+    WalBytes,
+    WalSyncs,
+    FlushCount,
+    FlushBytes,
+    CompactionCount,
+    CompactReadBytes,
+    CompactWriteBytes,
+    TrivialMoves,
+    StallDelayedWrites,
+    StallStoppedWrites,
+    StallMicros,
+    WriteGroupsLed,
+    WritesJoinedGroup,
+    TickerCount, // sentinel
+}
+
+const TICKER_COUNT: usize = Ticker::TickerCount as usize;
+
+/// Shared statistics sink for one database instance.
+#[derive(Debug)]
+pub struct DbStats {
+    tickers: [AtomicU64; TICKER_COUNT],
+    /// Client-visible Get latency.
+    pub get_latency: Histogram,
+    /// Client-visible write (batch commit) latency.
+    pub write_latency: Histogram,
+    /// Time writers spend queued before their batch commits.
+    pub write_queue_wait: Histogram,
+    /// WAL append durations.
+    pub wal_append: Histogram,
+    /// Flush job durations.
+    pub flush_duration: Histogram,
+    /// Compaction job durations.
+    pub compaction_duration: Histogram,
+    /// Currently-waiting writer threads (gauge).
+    waiting_writers: AtomicU64,
+    /// Accumulated samples of the waiting-writers gauge (sum, n) — sampled
+    /// at each batch commit, reproducing the paper's Fig. 16 metric.
+    waiting_sum: AtomicU64,
+    waiting_samples: AtomicU64,
+}
+
+impl Default for DbStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DbStats {
+    /// Creates a zeroed sink.
+    pub fn new() -> DbStats {
+        DbStats {
+            tickers: std::array::from_fn(|_| AtomicU64::new(0)),
+            get_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            write_queue_wait: Histogram::new(),
+            wal_append: Histogram::new(),
+            flush_duration: Histogram::new(),
+            compaction_duration: Histogram::new(),
+            waiting_writers: AtomicU64::new(0),
+            waiting_sum: AtomicU64::new(0),
+            waiting_samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared handle.
+    pub fn shared() -> Arc<DbStats> {
+        Arc::new(DbStats::new())
+    }
+
+    /// Increments `t` by `n`.
+    pub fn add(&self, t: Ticker, n: u64) {
+        self.tickers[t as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments `t` by one.
+    pub fn bump(&self, t: Ticker) {
+        self.add(t, 1);
+    }
+
+    /// Current value of `t`.
+    pub fn ticker(&self, t: Ticker) -> u64 {
+        self.tickers[t as usize].load(Ordering::Relaxed)
+    }
+
+    /// A writer entered the queue.
+    pub fn writer_waiting_inc(&self) {
+        self.waiting_writers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A writer left the queue.
+    pub fn writer_waiting_dec(&self) {
+        self.waiting_writers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Samples the waiting-writers gauge (called at each group commit).
+    pub fn sample_waiting_writers(&self) {
+        let cur = self.waiting_writers.load(Ordering::Relaxed);
+        self.waiting_sum.fetch_add(cur, Ordering::Relaxed);
+        self.waiting_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Average number of waiting writer threads over all samples (Fig. 16).
+    pub fn avg_waiting_writers(&self) -> f64 {
+        let n = self.waiting_samples.load(Ordering::Relaxed);
+        if n == 0 {
+            0.0
+        } else {
+            self.waiting_sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Resets latency histograms and waiting-writer samples (tickers are
+    /// monotonic and left untouched) — used to discard warm-up effects.
+    pub fn reset_window(&self) {
+        self.get_latency.reset();
+        self.write_latency.reset();
+        self.write_queue_wait.reset();
+        self.wal_append.reset();
+        self.waiting_sum.store(0, Ordering::Relaxed);
+        self.waiting_samples.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickers_accumulate() {
+        let s = DbStats::new();
+        s.bump(Ticker::Puts);
+        s.add(Ticker::Puts, 4);
+        assert_eq!(s.ticker(Ticker::Puts), 5);
+        assert_eq!(s.ticker(Ticker::Gets), 0);
+    }
+
+    #[test]
+    fn waiting_writer_gauge_averages() {
+        let s = DbStats::new();
+        s.writer_waiting_inc();
+        s.writer_waiting_inc();
+        s.sample_waiting_writers(); // 2
+        s.writer_waiting_dec();
+        s.sample_waiting_writers(); // 1
+        assert!((s.avg_waiting_writers() - 1.5).abs() < 1e-9);
+        s.reset_window();
+        assert_eq!(s.avg_waiting_writers(), 0.0);
+    }
+
+    #[test]
+    fn reset_window_keeps_tickers() {
+        let s = DbStats::new();
+        s.bump(Ticker::FlushCount);
+        s.get_latency.record(100);
+        s.reset_window();
+        assert_eq!(s.ticker(Ticker::FlushCount), 1);
+        assert_eq!(s.get_latency.count(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Write-ahead log.
+//!
+//! Record framing: `[masked crc32c u32][len u32][payload]`. Appends are
+//! buffered in the filesystem's page cache (the cheap path the paper
+//! describes); durability comes from either per-commit `sync` (off by
+//! default, as in `db_bench`) or periodic `wal_bytes_per_sync`-style
+//! background pushes.
+
+use crate::coding::get_fixed32;
+use crate::costs;
+use crate::crc32c;
+use crate::error::{DbError, DbResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use xlsm_simfs::{FileHandle, FsError, SimFs};
+
+/// WAL file names: `<db>/<number>.log`.
+pub fn wal_file_name(db_path: &str, number: u64) -> String {
+    format!("{db_path}/{number:06}.log")
+}
+
+/// Appends records to one WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: FileHandle,
+    number: u64,
+    bytes_since_flush: AtomicU64,
+    bytes_per_sync: u64,
+}
+
+impl WalWriter {
+    /// Creates a new WAL file in `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors (e.g. the file already exists).
+    pub fn create(
+        fs: &std::sync::Arc<SimFs>,
+        db_path: &str,
+        number: u64,
+        bytes_per_sync: usize,
+    ) -> DbResult<WalWriter> {
+        let file = fs.create(&wal_file_name(db_path, number))?;
+        Ok(WalWriter {
+            file,
+            number,
+            bytes_since_flush: AtomicU64::new(0),
+            bytes_per_sync: bytes_per_sync as u64,
+        })
+    }
+
+    /// This WAL's file number.
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// Appends one record (a serialized write batch).
+    ///
+    /// If `sync` is true the record is forced through to the device
+    /// (fsync); otherwise it stays in the page cache, with a background
+    /// `sync_file_range`-style push every `bytes_per_sync` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn append(&self, payload: &[u8], sync: bool) -> DbResult<u64> {
+        xlsm_sim::sleep_nanos(costs::wal_encode_ns(payload.len()));
+        let crc = crc32c::masked(crc32c::crc32c(payload));
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&crc.to_le_bytes());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let written = rec.len() as u64;
+        self.file.append(&rec)?;
+        if sync {
+            self.file.sync()?;
+        } else if self.bytes_per_sync > 0 {
+            let acc = self
+                .bytes_since_flush
+                .fetch_add(written, Ordering::Relaxed)
+                + written;
+            if acc >= self.bytes_per_sync {
+                self.bytes_since_flush.store(0, Ordering::Relaxed);
+                self.file.flush_data()?;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Bytes in the log so far.
+    pub fn size(&self) -> u64 {
+        self.file.len()
+    }
+}
+
+/// Replays the records of a WAL file.
+///
+/// Returns the payloads of all intact records, stopping silently at the
+/// first truncated or corrupt record (the normal crash-recovery contract).
+///
+/// # Errors
+///
+/// Only filesystem-level errors; corruption terminates the scan instead.
+pub fn read_wal(fs: &std::sync::Arc<SimFs>, path: &str) -> DbResult<Vec<Vec<u8>>> {
+    let file = match fs.open(path) {
+        Ok(f) => f,
+        Err(FsError::NotFound(_)) => return Ok(Vec::new()),
+        Err(e) => return Err(DbError::Fs(e)),
+    };
+    let size = file.len();
+    let mut out = Vec::new();
+    let mut off = 0u64;
+    while off + 8 <= size {
+        let header = file.read_at(off, 8)?;
+        let stored_crc = crc32c::unmask(get_fixed32(&header, 0));
+        let len = get_fixed32(&header, 4) as u64;
+        if off + 8 + len > size {
+            break; // truncated tail
+        }
+        let payload = file.read_at(off + 8, len as usize)?;
+        if crc32c::crc32c(&payload) != stored_crc {
+            break; // corrupt tail
+        }
+        out.push(payload);
+        off += 8 + len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xlsm_device::{profiles, SimDevice};
+    use xlsm_simfs::FsOptions;
+    use xlsm_sim::Runtime;
+
+    fn fs() -> Arc<SimFs> {
+        SimFs::new(
+            SimDevice::shared(profiles::optane_900p()),
+            FsOptions::default(),
+        )
+    }
+
+    #[test]
+    fn append_and_replay() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let w = WalWriter::create(&fs, "db", 3, 0).unwrap();
+            w.append(b"first", false).unwrap();
+            w.append(b"second", false).unwrap();
+            w.append(b"third", true).unwrap();
+            let recs = read_wal(&fs, &wal_file_name("db", 3)).unwrap();
+            assert_eq!(recs, vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+        });
+    }
+
+    #[test]
+    fn missing_wal_is_empty() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            assert!(read_wal(&fs, "db/000001.log").unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+            w.append(b"keep-me", false).unwrap();
+            // Manually append a half-record.
+            let f = fs.open(&wal_file_name("db", 1)).unwrap();
+            f.append(&[0x12, 0x34, 0x56, 0x78, 200, 0, 0, 0, b'x']).unwrap();
+            let recs = read_wal(&fs, &wal_file_name("db", 1)).unwrap();
+            assert_eq!(recs, vec![b"keep-me".to_vec()]);
+        });
+    }
+
+    #[test]
+    fn corrupt_crc_stops_scan() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+            w.append(b"good", false).unwrap();
+            // A record with valid length but wrong CRC.
+            let f = fs.open(&wal_file_name("db", 1)).unwrap();
+            let mut bad = Vec::new();
+            bad.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+            bad.extend_from_slice(&4u32.to_le_bytes());
+            bad.extend_from_slice(b"evil");
+            f.append(&bad).unwrap();
+            let w2 = WalWriter::create(&fs, "db", 2, 0).unwrap();
+            let _ = w2;
+            let recs = read_wal(&fs, &wal_file_name("db", 1)).unwrap();
+            assert_eq!(recs, vec![b"good".to_vec()]);
+        });
+    }
+
+    #[test]
+    fn sync_reaches_device() {
+        Runtime::new().run(|| {
+            let dev = SimDevice::shared(profiles::intel_530_sata());
+            let fs = SimFs::new(Arc::clone(&dev) as _, FsOptions::default());
+            let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+            w.append(b"payload", false).unwrap();
+            assert_eq!(xlsm_device::Device::stats(&*dev).writes, 0);
+            w.append(b"payload", true).unwrap();
+            assert!(xlsm_device::Device::stats(&*dev).writes > 0);
+        });
+    }
+
+    #[test]
+    fn bytes_per_sync_pushes_periodically() {
+        Runtime::new().run(|| {
+            let dev = SimDevice::shared(profiles::optane_900p());
+            let fs = SimFs::new(Arc::clone(&dev) as _, FsOptions::default());
+            let w = WalWriter::create(&fs, "db", 1, 8 << 10).unwrap();
+            for _ in 0..20 {
+                w.append(&vec![7u8; 1024], false).unwrap();
+            }
+            let s = xlsm_device::Device::stats(&*dev);
+            assert!(
+                s.pages_written > 0,
+                "bytes_per_sync should have pushed dirty pages"
+            );
+        });
+    }
+}

@@ -1,0 +1,107 @@
+//! Model-based testing: the engine against a `BTreeMap` reference model
+//! under randomized operation sequences, interleaved with flushes,
+//! compaction waits and reopens.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use xlsm_device::{profiles, SimDevice};
+use xlsm_engine::{Db, DbOptions};
+use xlsm_simfs::{FsOptions, SimFs};
+use xlsm_sim::Runtime;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Flush,
+    Scan,
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u16..400, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0u16..400).prop_map(Op::Delete),
+        4 => (0u16..400).prop_map(Op::Get),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Scan),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("key{k:05}").into_bytes()
+}
+
+fn small_opts() -> DbOptions {
+    DbOptions {
+        write_buffer_size: 64 << 10,
+        target_file_size_base: 64 << 10,
+        max_bytes_for_level_base: 256 << 10,
+        ..DbOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engine_matches_btreemap_model(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        Runtime::new().run(move || {
+            let fs = SimFs::new(
+                SimDevice::shared(profiles::optane_900p()),
+                FsOptions::default(),
+            );
+            let mut db = Db::open(Arc::clone(&fs), small_opts()).unwrap();
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    Op::Put(k, v) => {
+                        let value = vec![*v; 64];
+                        db.put(&key(*k), &value).unwrap();
+                        model.insert(key(*k), value);
+                    }
+                    Op::Delete(k) => {
+                        db.delete(&key(*k)).unwrap();
+                        model.remove(&key(*k));
+                    }
+                    Op::Get(k) => {
+                        let got = db.get(&key(*k)).unwrap();
+                        assert_eq!(got, model.get(&key(*k)).cloned(), "get({k}) diverged");
+                    }
+                    Op::Flush => {
+                        db.flush().unwrap();
+                    }
+                    Op::Scan => {
+                        let mut scan = db.scan().unwrap();
+                        let mut got = Vec::new();
+                        let mut ok = scan.seek_to_first().unwrap();
+                        while ok {
+                            got.push((scan.key().to_vec(), scan.value().to_vec()));
+                            ok = scan.next().unwrap();
+                        }
+                        let want: Vec<(Vec<u8>, Vec<u8>)> =
+                            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                        assert_eq!(got, want, "scan diverged from model");
+                    }
+                    Op::Reopen => {
+                        db.close();
+                        db = Db::open(Arc::clone(&fs), small_opts()).unwrap();
+                    }
+                }
+            }
+            // Final full verification.
+            for (k, v) in &model {
+                assert_eq!(db.get(k).unwrap().as_ref(), Some(v), "final check diverged");
+            }
+            db.wait_for_compactions();
+            db.close();
+        });
+    }
+}

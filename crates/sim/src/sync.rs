@@ -1,0 +1,552 @@
+//! Simulation-aware synchronization primitives.
+//!
+//! All blocking here is *virtual-time blocking*: the waiting thread hands the
+//! run token back to the scheduler, and wakers move it to the runnable queue.
+//! Because exactly one sim thread executes at a time, a check-then-wait
+//! sequence with no intervening blocking call is atomic with respect to other
+//! sim threads — the primitives below rely on that property and therefore
+//! need no lost-wakeup dance.
+
+use crate::runtime::{self, assert_not_in_critical_section, current_sched, current_tid};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Mutex: a critical-section-tracked lock
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock for sim threads.
+///
+/// Under the cooperative scheduler the lock can never be contended, so this is
+/// a thin wrapper over [`parking_lot::Mutex`] whose real job is *discipline*:
+/// it maintains a thread-local critical-section depth, and every blocking sim
+/// operation ([`crate::sleep`], [`WaitSet::wait`], [`Semaphore::acquire`], …)
+/// panics if invoked while any guard is alive. Holding a lock across a sim
+/// wait would stall the whole simulation; this turns that bug into a loud,
+/// immediate failure at the offending call site.
+pub struct Mutex<T> {
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("data", &self.inner).finish()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock. Never blocks in virtual time.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self
+            .inner
+            .try_lock()
+            .expect("xlsm_sim::sync::Mutex contended — a guard was held across a sim wait");
+        runtime::cs_enter();
+        MutexGuard { guard }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+/// Guard for [`Mutex`]; releases the lock and decrements the thread-local
+/// critical-section depth on drop.
+pub struct MutexGuard<'a, T> {
+    guard: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        runtime::cs_exit();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WaitSet: the condition-variable analogue
+// ---------------------------------------------------------------------------
+
+/// A set of parked threads, the building block for higher-level blocking.
+///
+/// `WaitSet` replaces the condition variable in the cooperative world: a
+/// thread checks its predicate, and if unsatisfied calls [`WaitSet::wait`];
+/// wakers call [`WaitSet::notify_one`] / [`WaitSet::notify_all`]. There are
+/// no spurious wakeups, but callers should still re-check predicates in a
+/// loop, since another woken thread may consume the state first.
+pub struct WaitSet {
+    name: &'static str,
+    waiters: parking_lot::Mutex<VecDeque<usize>>,
+}
+
+impl fmt::Debug for WaitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitSet")
+            .field("name", &self.name)
+            .field("waiters", &self.waiters.lock().len())
+            .finish()
+    }
+}
+
+impl WaitSet {
+    /// Creates a wait set; `name` shows up in deadlock diagnostics.
+    pub fn new(name: &'static str) -> WaitSet {
+        WaitSet {
+            name,
+            waiters: parking_lot::Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Parks the calling thread until notified.
+    pub fn wait(&self) {
+        assert_not_in_critical_section("WaitSet::wait");
+        let tid = current_tid();
+        self.waiters.lock().push_back(tid);
+        current_sched().block_current(tid, self.name);
+    }
+
+    /// Wakes the longest-waiting thread; returns whether one was woken.
+    pub fn notify_one(&self) -> bool {
+        let woken = self.waiters.lock().pop_front();
+        if let Some(tid) = woken {
+            current_sched().unblock(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wakes every waiting thread (FIFO); returns how many were woken.
+    pub fn notify_all(&self) -> usize {
+        let drained: Vec<usize> = self.waiters.lock().drain(..).collect();
+        let sched = current_sched();
+        let n = drained.len();
+        for tid in drained {
+            sched.unblock(tid);
+        }
+        n
+    }
+
+    /// Number of threads currently parked here.
+    pub fn len(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    /// Whether no thread is parked here.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.lock().is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemInner {
+    permits: u64,
+    queue: VecDeque<(usize, u64)>,
+    granted: HashSet<usize>,
+}
+
+/// A FIFO counting semaphore; models bounded resources such as a device's
+/// internal channels or a bandwidth token pool.
+pub struct Semaphore {
+    name: &'static str,
+    inner: parking_lot::Mutex<SemInner>,
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Semaphore")
+            .field("name", &self.name)
+            .field("permits", &inner.permits)
+            .field("queued", &inner.queue.len())
+            .finish()
+    }
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(name: &'static str, permits: u64) -> Semaphore {
+        Semaphore {
+            name,
+            inner: parking_lot::Mutex::new(SemInner {
+                permits,
+                queue: VecDeque::new(),
+                granted: HashSet::new(),
+            }),
+        }
+    }
+
+    /// Acquires `n` permits, blocking in FIFO order until available.
+    pub fn acquire(&self, n: u64) {
+        assert_not_in_critical_section("Semaphore::acquire");
+        let tid = current_tid();
+        {
+            let mut inner = self.inner.lock();
+            if inner.queue.is_empty() && inner.permits >= n {
+                inner.permits -= n;
+                return;
+            }
+            inner.queue.push_back((tid, n));
+        }
+        let sched = current_sched();
+        loop {
+            sched.block_current(tid, self.name);
+            if self.inner.lock().granted.remove(&tid) {
+                return;
+            }
+        }
+    }
+
+    /// Releases `n` permits and hands them to queued waiters in FIFO order.
+    pub fn release(&self, n: u64) {
+        let mut to_wake = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            inner.permits += n;
+            while let Some(&(tid, need)) = inner.queue.front() {
+                if inner.permits >= need {
+                    inner.permits -= need;
+                    inner.queue.pop_front();
+                    inner.granted.insert(tid);
+                    to_wake.push(tid);
+                } else {
+                    break;
+                }
+            }
+        }
+        let sched = current_sched();
+        for tid in to_wake {
+            sched.unblock(tid);
+        }
+    }
+
+    /// Currently available permits (diagnostic).
+    pub fn available(&self) -> u64 {
+        self.inner.lock().permits
+    }
+
+    /// Number of threads queued for permits (diagnostic).
+    pub fn queued(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+}
+
+/// RAII permit helper: acquires on construction, releases on drop.
+#[derive(Debug)]
+pub struct SemaphorePermit<'a> {
+    sem: &'a Semaphore,
+    n: u64,
+}
+
+impl<'a> SemaphorePermit<'a> {
+    /// Acquires `n` permits from `sem`, releasing them when dropped.
+    pub fn acquire(sem: &'a Semaphore, n: u64) -> SemaphorePermit<'a> {
+        sem.acquire(n);
+        SemaphorePermit { sem, n }
+    }
+}
+
+impl Drop for SemaphorePermit<'_> {
+    fn drop(&mut self) {
+        self.sem.release(self.n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------------
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Chan<T> {
+    inner: parking_lot::Mutex<ChanInner<T>>,
+    recv_wait: WaitSet,
+}
+
+/// Sending half of an unbounded MPSC channel; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+/// Receiving half of an unbounded channel. Clones share the same queue, so
+/// multiple worker threads can `recv` from one channel (MPMC work-queue
+/// semantics; each value is delivered to exactly one receiver).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+/// Creates an unbounded channel for handing work between sim threads.
+///
+/// `send` never blocks; `recv` blocks in virtual time until a value or
+/// [`Sender::close`] arrives.
+pub fn channel<T>(name: &'static str) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: parking_lot::Mutex::new(ChanInner {
+            queue: VecDeque::new(),
+            closed: false,
+        }),
+        recv_wait: WaitSet::new(name),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `v`. Returns `Err(v)` if the channel was closed.
+    pub fn send(&self, v: T) -> Result<(), T> {
+        {
+            let mut inner = self.chan.inner.lock();
+            if inner.closed {
+                return Err(v);
+            }
+            inner.queue.push_back(v);
+        }
+        self.chan.recv_wait.notify_one();
+        Ok(())
+    }
+
+    /// Closes the channel; pending values remain receivable, after which
+    /// `recv` returns `None`.
+    pub fn close(&self) {
+        self.chan.inner.lock().closed = true;
+        self.chan.recv_wait.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value, blocking in virtual time. Returns `None` once
+    /// the channel is closed and drained.
+    pub fn recv(&self) -> Option<T> {
+        loop {
+            {
+                let mut inner = self.chan.inner.lock();
+                if let Some(v) = inner.queue.pop_front() {
+                    return Some(v);
+                }
+                if inner.closed {
+                    return None;
+                }
+            }
+            self.chan.recv_wait.wait();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.chan.inner.lock().queue.pop_front()
+    }
+
+    /// Number of queued values (diagnostic).
+    pub fn len(&self) -> usize {
+        self.chan.inner.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.chan.inner.lock().queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sleep, spawn, Runtime};
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_tracks_critical_sections() {
+        Runtime::new().run(|| {
+            let m = Mutex::new(5);
+            {
+                let mut g = m.lock();
+                *g += 1;
+            }
+            assert_eq!(*m.lock(), 6);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "sim-blocking operation")]
+    fn sleep_inside_critical_section_panics() {
+        Runtime::new().run(|| {
+            let m = Mutex::new(());
+            let _g = m.lock();
+            sleep(Duration::from_micros(1));
+        });
+    }
+
+    #[test]
+    fn waitset_wakes_fifo() {
+        Runtime::new().run(|| {
+            let ws = Arc::new(WaitSet::new("test"));
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for i in 0..3 {
+                let ws = Arc::clone(&ws);
+                let order = Arc::clone(&order);
+                handles.push(spawn(&format!("w{i}"), move || {
+                    ws.wait();
+                    order.lock().push(i);
+                }));
+            }
+            // Let all three park.
+            sleep(Duration::from_micros(1));
+            assert_eq!(ws.len(), 3);
+            assert_eq!(ws.notify_all(), 3);
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(order.lock().clone(), vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        Runtime::new().run(|| {
+            let sem = Arc::new(Semaphore::new("chan", 2));
+            let peak = Arc::new(Mutex::new((0u32, 0u32))); // (current, max)
+            let mut handles = Vec::new();
+            for i in 0..6 {
+                let sem = Arc::clone(&sem);
+                let peak = Arc::clone(&peak);
+                handles.push(spawn(&format!("io{i}"), move || {
+                    sem.acquire(1);
+                    {
+                        let mut p = peak.lock();
+                        p.0 += 1;
+                        p.1 = p.1.max(p.0);
+                    }
+                    sleep(Duration::from_micros(10));
+                    peak.lock().0 -= 1;
+                    sem.release(1);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(peak.lock().1, 2);
+            // 6 jobs of 10 µs at concurrency 2 => 30 µs.
+            assert_eq!(crate::now_nanos(), 30_000);
+        });
+    }
+
+    #[test]
+    fn semaphore_permit_raii() {
+        Runtime::new().run(|| {
+            let sem = Semaphore::new("p", 3);
+            {
+                let _p = SemaphorePermit::acquire(&sem, 2);
+                assert_eq!(sem.available(), 1);
+            }
+            assert_eq!(sem.available(), 3);
+        });
+    }
+
+    #[test]
+    fn channel_roundtrip_and_close() {
+        Runtime::new().run(|| {
+            let (tx, rx) = channel::<u32>("jobs");
+            let h = spawn("worker", move || {
+                let mut sum = 0;
+                while let Some(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            });
+            for v in 1..=4 {
+                tx.send(v).unwrap();
+            }
+            tx.close();
+            assert_eq!(h.join(), 10);
+            assert!(tx.send(9).is_err());
+        });
+    }
+
+    #[test]
+    fn channel_blocks_receiver_until_send() {
+        Runtime::new().run(|| {
+            let (tx, rx) = channel::<&'static str>("jobs");
+            let h = spawn("worker", move || {
+                let v = rx.recv().unwrap();
+                (v, crate::now_nanos())
+            });
+            sleep(Duration::from_micros(7));
+            tx.send("hello").unwrap();
+            let (v, t) = h.join();
+            assert_eq!(v, "hello");
+            assert_eq!(t, 7_000);
+            tx.close();
+        });
+    }
+}

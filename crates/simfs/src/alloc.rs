@@ -1,0 +1,132 @@
+//! First-fit extent allocator for device pages.
+
+/// Allocates contiguous page ranges from the device's logical address space,
+/// merging freed neighbors so long-running compaction churn does not
+/// fragment the space unboundedly.
+#[derive(Debug)]
+pub(crate) struct ExtentAllocator {
+    /// Sorted, non-adjacent free ranges `(start, len)`.
+    free: Vec<(u64, u64)>,
+    capacity: u64,
+}
+
+impl ExtentAllocator {
+    pub fn new(capacity_pages: u64) -> ExtentAllocator {
+        ExtentAllocator {
+            free: vec![(0, capacity_pages)],
+            capacity: capacity_pages,
+        }
+    }
+
+    /// First-fit allocation of exactly `pages` contiguous pages.
+    pub fn allocate(&mut self, pages: u64) -> Option<u64> {
+        debug_assert!(pages > 0);
+        for i in 0..self.free.len() {
+            let (start, len) = self.free[i];
+            if len >= pages {
+                if len == pages {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (start + pages, len - pages);
+                }
+                return Some(start);
+            }
+        }
+        None
+    }
+
+    /// Returns a range to the pool, merging with adjacent free ranges.
+    pub fn free(&mut self, start: u64, pages: u64) {
+        debug_assert!(pages > 0);
+        debug_assert!(start + pages <= self.capacity);
+        let idx = self.free.partition_point(|&(s, _)| s < start);
+        // Check overlap with neighbors in debug builds.
+        if idx > 0 {
+            let (ps, pl) = self.free[idx - 1];
+            debug_assert!(ps + pl <= start, "double free (prev overlap)");
+        }
+        if idx < self.free.len() {
+            debug_assert!(start + pages <= self.free[idx].0, "double free (next overlap)");
+        }
+        let merges_prev = idx > 0 && {
+            let (ps, pl) = self.free[idx - 1];
+            ps + pl == start
+        };
+        let merges_next = idx < self.free.len() && start + pages == self.free[idx].0;
+        match (merges_prev, merges_next) {
+            (true, true) => {
+                let next_len = self.free[idx].1;
+                self.free[idx - 1].1 += pages + next_len;
+                self.free.remove(idx);
+            }
+            (true, false) => self.free[idx - 1].1 += pages,
+            (false, true) => {
+                self.free[idx].0 = start;
+                self.free[idx].1 += pages;
+            }
+            (false, false) => self.free.insert(idx, (start, pages)),
+        }
+    }
+
+    /// Total free pages remaining.
+    pub fn free_pages(&self) -> u64 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocate_and_exhaust() {
+        let mut a = ExtentAllocator::new(10);
+        assert_eq!(a.allocate(4), Some(0));
+        assert_eq!(a.allocate(4), Some(4));
+        assert_eq!(a.allocate(4), None);
+        assert_eq!(a.allocate(2), Some(8));
+        assert_eq!(a.free_pages(), 0);
+    }
+
+    #[test]
+    fn free_merges_neighbors() {
+        let mut a = ExtentAllocator::new(12);
+        let x = a.allocate(4).unwrap();
+        let y = a.allocate(4).unwrap();
+        let z = a.allocate(4).unwrap();
+        a.free(x, 4);
+        a.free(z, 4);
+        a.free(y, 4);
+        assert_eq!(a.free_pages(), 12);
+        // Fully merged back into a single extent.
+        assert_eq!(a.allocate(12), Some(0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Random alloc/free interleavings conserve pages and never hand out
+        /// overlapping ranges.
+        #[test]
+        fn conservation(ops in prop::collection::vec(1u64..16, 1..200)) {
+            let cap = 256u64;
+            let mut a = ExtentAllocator::new(cap);
+            let mut held: Vec<(u64, u64)> = Vec::new();
+            for (i, n) in ops.into_iter().enumerate() {
+                if i % 3 == 2 && !held.is_empty() {
+                    let (s, l) = held.swap_remove(i % held.len());
+                    a.free(s, l);
+                } else if let Some(s) = a.allocate(n) {
+                    // No overlap with anything currently held.
+                    for &(hs, hl) in &held {
+                        prop_assert!(s + n <= hs || hs + hl <= s, "overlap");
+                    }
+                    held.push((s, n));
+                }
+                let held_total: u64 = held.iter().map(|&(_, l)| l).sum();
+                prop_assert_eq!(a.free_pages() + held_total, cap);
+            }
+        }
+    }
+}

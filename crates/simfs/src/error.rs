@@ -1,0 +1,46 @@
+//! Filesystem error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for filesystem operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors returned by [`crate::SimFs`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// A file with that name already exists.
+    AlreadyExists(String),
+    /// Read past the end of a file.
+    OutOfRange {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Actual file size.
+        size: u64,
+    },
+    /// The underlying device has no free pages left.
+    DeviceFull,
+    /// The handle refers to a file that was deleted.
+    Stale(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            FsError::OutOfRange { offset, len, size } => write!(
+                f,
+                "read of {len} bytes at offset {offset} past end of {size}-byte file"
+            ),
+            FsError::DeviceFull => write!(f, "simulated device is full"),
+            FsError::Stale(p) => write!(f, "handle refers to deleted file: {p}"),
+        }
+    }
+}
+
+impl Error for FsError {}

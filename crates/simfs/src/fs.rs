@@ -1,0 +1,913 @@
+//! The filesystem proper: namespace, file handles, page-cache integration.
+
+use crate::alloc::ExtentAllocator;
+use crate::error::{FsError, FsResult};
+use crate::pagecache::{PageCache, PageKey};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use xlsm_device::{Device, PAGE_SIZE};
+
+/// Tunables for the filesystem and its OS page-cache model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FsOptions {
+    /// Page-cache capacity in 4-KiB pages. This is the knob that reproduces
+    /// the paper's 8 GB RAM vs. 100 GB dataset ratio at scale.
+    pub page_cache_pages: usize,
+    /// Fraction of the cache that may be dirty before the *background
+    /// writeback daemon* starts draining (Linux `dirty_background_ratio`
+    /// analogue). Appenders are only stalled synchronously at twice this
+    /// fraction (`dirty_ratio` analogue).
+    pub dirty_limit_fraction: f64,
+    /// Host-side fixed cost per read call (syscall + VFS), nanoseconds.
+    pub host_read_ns: u64,
+    /// Host-side fixed cost per append call, nanoseconds.
+    pub host_write_ns: u64,
+    /// Memcpy cost per KiB moved between user and page cache, nanoseconds.
+    pub memcpy_ns_per_kib: u64,
+    /// Device pages allocated per extent-growth step.
+    pub alloc_chunk_pages: u64,
+}
+
+impl Default for FsOptions {
+    fn default() -> FsOptions {
+        FsOptions {
+            page_cache_pages: 16_384, // 64 MiB
+            dirty_limit_fraction: 0.25,
+            host_read_ns: 1_800,
+            host_write_ns: 1_200,
+            memcpy_ns_per_kib: 30, // ≈ 33 GB/s
+            alloc_chunk_pages: 256,
+        }
+    }
+}
+
+/// Point-in-time filesystem counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Page-cache hits.
+    pub cache_hits: u64,
+    /// Page-cache misses (device reads incurred).
+    pub cache_misses: u64,
+    /// Dirty pages written back because of eviction pressure.
+    pub dirty_evictions: u64,
+    /// Dirty pages written back by the dirty-ratio throttle (appender
+    /// stalled at the hard limit).
+    pub throttle_writebacks: u64,
+    /// Dirty pages written back asynchronously by the writeback daemon.
+    pub background_writebacks: u64,
+    /// Pages written back by explicit `sync` calls.
+    pub sync_writebacks: u64,
+    /// Currently resident pages.
+    pub resident_pages: u64,
+    /// Currently dirty pages.
+    pub dirty_pages: u64,
+    /// Live files.
+    pub files: u64,
+}
+
+struct FileData {
+    id: u64,
+    name: parking_lot::Mutex<String>,
+    content: parking_lot::RwLock<Vec<u8>>,
+    /// Allocated device extents `(start_lpn, pages)` covering the file.
+    extents: parking_lot::Mutex<Vec<(u64, u64)>>,
+    deleted: AtomicBool,
+}
+
+impl FileData {
+    /// Device LPN of the file's `page`-th page, if allocated.
+    fn lpn_of(&self, page: u64) -> Option<u64> {
+        let extents = self.extents.lock();
+        let mut base = 0u64;
+        for &(start, len) in extents.iter() {
+            if page < base + len {
+                return Some(start + (page - base));
+            }
+            base += len;
+        }
+        None
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        self.extents.lock().iter().map(|&(_, l)| l).sum()
+    }
+}
+
+/// A simulated filesystem bound to one device.
+pub struct SimFs {
+    device: Arc<dyn Device>,
+    opts: FsOptions,
+    files: parking_lot::Mutex<BTreeMap<String, Arc<FileData>>>,
+    by_id: parking_lot::Mutex<HashMap<u64, Arc<FileData>>>,
+    cache: parking_lot::Mutex<PageCache>,
+    alloc: parking_lot::Mutex<ExtentAllocator>,
+    next_id: AtomicU64,
+    throttle_writebacks: AtomicU64,
+    sync_writebacks: AtomicU64,
+    bg_writebacks: AtomicU64,
+    wb_wake: xlsm_sim::sync::WaitSet,
+}
+
+impl fmt::Debug for SimFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimFs")
+            .field("device", &self.device.profile().name)
+            .field("files", &self.files.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimFs {
+    /// Creates a filesystem over `device` and starts its background
+    /// writeback daemon (must be called inside a sim runtime).
+    pub fn new(device: Arc<dyn Device>, opts: FsOptions) -> Arc<SimFs> {
+        let capacity = device.profile().capacity_pages;
+        let fs = Arc::new(SimFs {
+            device,
+            cache: parking_lot::Mutex::new(PageCache::new(opts.page_cache_pages)),
+            alloc: parking_lot::Mutex::new(ExtentAllocator::new(capacity)),
+            files: parking_lot::Mutex::new(BTreeMap::new()),
+            by_id: parking_lot::Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            throttle_writebacks: AtomicU64::new(0),
+            sync_writebacks: AtomicU64::new(0),
+            bg_writebacks: AtomicU64::new(0),
+            wb_wake: xlsm_sim::sync::WaitSet::new("fs-writeback"),
+            opts,
+        });
+        // Background writeback (the pdflush/kworker analogue): drains dirty
+        // pages above the soft limit so appenders normally never block on
+        // the device. A parked daemon thread per filesystem.
+        let fs2 = Arc::clone(&fs);
+        xlsm_sim::spawn_daemon("fs-writeback", move || loop {
+            fs2.wb_wake.wait();
+            loop {
+                let batch = {
+                    let mut cache = fs2.cache.lock();
+                    if cache.dirty_count() <= fs2.soft_dirty_limit() * 4 / 5 {
+                        break;
+                    }
+                    cache.take_dirty_batch(32)
+                };
+                if batch.is_empty() {
+                    break;
+                }
+                fs2.bg_writebacks
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                fs2.write_back(&batch);
+            }
+        });
+        fs
+    }
+
+    fn soft_dirty_limit(&self) -> usize {
+        ((self.opts.page_cache_pages as f64) * self.opts.dirty_limit_fraction) as usize
+    }
+
+    fn hard_dirty_limit(&self) -> usize {
+        self.soft_dirty_limit() * 2
+    }
+
+    /// The device underneath (for stats or direct raw benchmarks).
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.device
+    }
+
+    /// The options this filesystem was built with.
+    pub fn options(&self) -> &FsOptions {
+        &self.opts
+    }
+
+    /// Creates a new empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`] if the path is taken.
+    pub fn create(self: &Arc<Self>, path: &str) -> FsResult<FileHandle> {
+        let data = Arc::new(FileData {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            name: parking_lot::Mutex::new(path.to_owned()),
+            content: parking_lot::RwLock::new(Vec::new()),
+            extents: parking_lot::Mutex::new(Vec::new()),
+            deleted: AtomicBool::new(false),
+        });
+        {
+            let mut files = self.files.lock();
+            if files.contains_key(path) {
+                return Err(FsError::AlreadyExists(path.to_owned()));
+            }
+            files.insert(path.to_owned(), Arc::clone(&data));
+        }
+        self.by_id.lock().insert(data.id, Arc::clone(&data));
+        Ok(FileHandle {
+            fs: Arc::clone(self),
+            data,
+        })
+    }
+
+    /// Opens an existing file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    pub fn open(self: &Arc<Self>, path: &str) -> FsResult<FileHandle> {
+        let data = self
+            .files
+            .lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(path.to_owned()))?;
+        Ok(FileHandle {
+            fs: Arc::clone(self),
+            data,
+        })
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    /// Lists paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .lock()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Deletes a file: drops cached pages, frees and TRIMs its extents.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    pub fn delete(&self, path: &str) -> FsResult<()> {
+        let data = self
+            .files
+            .lock()
+            .remove(path)
+            .ok_or_else(|| FsError::NotFound(path.to_owned()))?;
+        self.by_id.lock().remove(&data.id);
+        data.deleted.store(true, Ordering::Relaxed);
+        self.cache.lock().remove_file(data.id);
+        let extents = std::mem::take(&mut *data.extents.lock());
+        {
+            let mut alloc = self.alloc.lock();
+            for &(start, len) in &extents {
+                alloc.free(start, len);
+            }
+        }
+        for (start, len) in extents {
+            self.device.trim(start, len);
+        }
+        Ok(())
+    }
+
+    /// Atomically renames a file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if `from` is absent; [`FsError::AlreadyExists`]
+    /// if `to` is taken.
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let mut files = self.files.lock();
+        if files.contains_key(to) {
+            return Err(FsError::AlreadyExists(to.to_owned()));
+        }
+        let data = files
+            .remove(from)
+            .ok_or_else(|| FsError::NotFound(from.to_owned()))?;
+        *data.name.lock() = to.to_owned();
+        files.insert(to.to_owned(), data);
+        Ok(())
+    }
+
+    /// Unallocated device pages remaining.
+    pub fn free_space_pages(&self) -> u64 {
+        self.alloc.lock().free_pages()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FsStats {
+        let cache = self.cache.lock();
+        FsStats {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            dirty_evictions: cache.dirty_evictions,
+            throttle_writebacks: self.throttle_writebacks.load(Ordering::Relaxed),
+            background_writebacks: self.bg_writebacks.load(Ordering::Relaxed),
+            sync_writebacks: self.sync_writebacks.load(Ordering::Relaxed),
+            resident_pages: cache.resident_count() as u64,
+            dirty_pages: cache.dirty_count() as u64,
+            files: self.files.lock().len() as u64,
+        }
+    }
+
+    fn memcpy_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.opts.memcpy_ns_per_kib) / 1024
+    }
+
+    /// Writes back the given cache victims to the device (coalescing
+    /// LPN-contiguous runs). Must be called with no locks held.
+    fn write_back(&self, victims: &[PageKey]) {
+        if victims.is_empty() {
+            return;
+        }
+        // Resolve LPNs; skip pages of deleted files.
+        let by_id = self.by_id.lock();
+        let mut lpns: Vec<u64> = victims
+            .iter()
+            .filter_map(|&(file, page)| by_id.get(&file).and_then(|f| f.lpn_of(page)))
+            .collect();
+        drop(by_id);
+        lpns.sort_unstable();
+        let mut i = 0;
+        while i < lpns.len() {
+            let start = lpns[i];
+            let mut run = 1u32;
+            while i + (run as usize) < lpns.len() && lpns[i + run as usize] == start + run as u64 {
+                run += 1;
+            }
+            self.device.write(start, run);
+            i += run as usize;
+        }
+    }
+
+    /// Dirty-page policy, called by appenders after dirtying pages: above
+    /// the soft limit, kick the background daemon; above the hard limit,
+    /// the appender writes back synchronously (dirty throttling).
+    fn maybe_throttle_dirty(&self) {
+        let dirty = self.cache.lock().dirty_count();
+        if dirty > self.soft_dirty_limit() {
+            self.wb_wake.notify_one();
+        }
+        let hard = self.hard_dirty_limit();
+        loop {
+            let batch = {
+                let mut cache = self.cache.lock();
+                if cache.dirty_count() <= hard {
+                    return;
+                }
+                cache.take_dirty_batch(64)
+            };
+            if batch.is_empty() {
+                return;
+            }
+            self.throttle_writebacks
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.write_back(&batch);
+        }
+    }
+}
+
+/// A handle to one file; clones share the same underlying file.
+pub struct FileHandle {
+    fs: Arc<SimFs>,
+    data: Arc<FileData>,
+}
+
+impl Clone for FileHandle {
+    fn clone(&self) -> Self {
+        FileHandle {
+            fs: Arc::clone(&self.fs),
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl fmt::Debug for FileHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileHandle")
+            .field("name", &*self.data.name.lock())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl FileHandle {
+    /// Current file size in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.content.read().len() as u64
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The file's current path.
+    pub fn name(&self) -> String {
+        self.data.name.lock().clone()
+    }
+
+    fn check_live(&self) -> FsResult<()> {
+        if self.data.deleted.load(Ordering::Relaxed) {
+            Err(FsError::Stale(self.name()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends `data`, returning the offset it was written at.
+    ///
+    /// The append is *buffered*: it lands in the page cache as dirty pages
+    /// and reaches the device on [`FileHandle::sync`], eviction pressure, or
+    /// the dirty-ratio throttle.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Stale`] if the file was deleted; [`FsError::DeviceFull`]
+    /// if extent allocation fails.
+    pub fn append(&self, data: &[u8]) -> FsResult<u64> {
+        self.check_live()?;
+        let fs = &self.fs;
+        xlsm_sim::sleep_nanos(fs.opts.host_write_ns + fs.memcpy_ns(data.len()));
+        // Extend content.
+        let (offset, new_len) = {
+            let mut content = self.data.content.write();
+            let offset = content.len() as u64;
+            content.extend_from_slice(data);
+            (offset, content.len() as u64)
+        };
+        // Ensure device extents cover the new size.
+        let needed_pages = new_len.div_ceil(PAGE_SIZE as u64);
+        let have = self.data.allocated_pages();
+        if needed_pages > have {
+            let grow = (needed_pages - have).max(fs.opts.alloc_chunk_pages);
+            let start = fs
+                .alloc
+                .lock()
+                .allocate(grow)
+                .ok_or(FsError::DeviceFull)?;
+            self.data.extents.lock().push((start, grow));
+        }
+        // Mark the touched pages dirty.
+        let first_page = offset / PAGE_SIZE as u64;
+        let last_page = (new_len - 1) / PAGE_SIZE as u64;
+        let mut victims = Vec::new();
+        {
+            let mut cache = fs.cache.lock();
+            for page in first_page..=last_page {
+                if let Some(v) = cache.insert((self.data.id, page), true) {
+                    victims.push(v);
+                }
+            }
+        }
+        fs.write_back(&victims);
+        fs.maybe_throttle_dirty();
+        Ok(offset)
+    }
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::OutOfRange`] if the range exceeds the file;
+    /// [`FsError::Stale`] if the file was deleted.
+    pub fn read_at(&self, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.check_live()?;
+        let fs = &self.fs;
+        xlsm_sim::sleep_nanos(fs.opts.host_read_ns + fs.memcpy_ns(len));
+        let size = self.len();
+        if offset + len as u64 > size {
+            return Err(FsError::OutOfRange { offset, len, size });
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let first_page = offset / PAGE_SIZE as u64;
+        let last_page = (offset + len as u64 - 1) / PAGE_SIZE as u64;
+        // Classify hits/misses and insert the missing pages (clean).
+        let mut missing = Vec::new();
+        let mut victims = Vec::new();
+        {
+            let mut cache = fs.cache.lock();
+            for page in first_page..=last_page {
+                let key = (self.data.id, page);
+                if !cache.touch(key) {
+                    missing.push(page);
+                    if let Some(v) = cache.insert(key, false) {
+                        victims.push(v);
+                    }
+                }
+            }
+        }
+        fs.write_back(&victims);
+        // Charge device reads for LPN-contiguous runs of missing pages.
+        if !missing.is_empty() {
+            let mut lpns: Vec<u64> = missing
+                .iter()
+                .filter_map(|&p| self.data.lpn_of(p))
+                .collect();
+            lpns.sort_unstable();
+            let mut i = 0;
+            while i < lpns.len() {
+                let start = lpns[i];
+                let mut run = 1u32;
+                while i + (run as usize) < lpns.len()
+                    && lpns[i + run as usize] == start + run as u64
+                {
+                    run += 1;
+                }
+                fs.device.read(start, run);
+                i += run as usize;
+            }
+        }
+        let content = self.data.content.read();
+        Ok(content[offset as usize..offset as usize + len].to_vec())
+    }
+
+    /// Populates the page cache for `[offset, offset + len)` with coalesced
+    /// device reads, without copying any data to the caller — the readahead
+    /// primitive (`posix_fadvise(WILLNEED)` analogue) used by compaction's
+    /// sequential scans.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Stale`] if the file was deleted. Ranges beyond EOF are
+    /// clamped silently.
+    pub fn prefetch(&self, offset: u64, len: usize) -> FsResult<()> {
+        self.check_live()?;
+        let fs = &self.fs;
+        let size = self.len();
+        if offset >= size || len == 0 {
+            return Ok(());
+        }
+        let end = (offset + len as u64).min(size);
+        xlsm_sim::sleep_nanos(fs.opts.host_read_ns);
+        let first_page = offset / PAGE_SIZE as u64;
+        let last_page = (end - 1) / PAGE_SIZE as u64;
+        let mut missing = Vec::new();
+        let mut victims = Vec::new();
+        {
+            let mut cache = fs.cache.lock();
+            for page in first_page..=last_page {
+                let key = (self.data.id, page);
+                if !cache.touch(key) {
+                    missing.push(page);
+                    if let Some(v) = cache.insert(key, false) {
+                        victims.push(v);
+                    }
+                }
+            }
+        }
+        fs.write_back(&victims);
+        if !missing.is_empty() {
+            let mut lpns: Vec<u64> = missing
+                .iter()
+                .filter_map(|&p| self.data.lpn_of(p))
+                .collect();
+            lpns.sort_unstable();
+            let mut i = 0;
+            while i < lpns.len() {
+                let start = lpns[i];
+                let mut run = 1u32;
+                while i + (run as usize) < lpns.len()
+                    && lpns[i + run as usize] == start + run as u64
+                {
+                    run += 1;
+                }
+                fs.device.read(start, run);
+                i += run as usize;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes back this file's dirty pages and issues a device barrier
+    /// (waits for the flash write-buffer drain).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Stale`] if the file was deleted.
+    pub fn sync(&self) -> FsResult<()> {
+        self.check_live()?;
+        let pages = self.fs.cache.lock().clean_file(self.data.id);
+        self.fs
+            .sync_writebacks
+            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+        let keys: Vec<PageKey> = pages.into_iter().map(|p| (self.data.id, p)).collect();
+        self.fs.write_back(&keys);
+        self.fs.device.sync();
+        Ok(())
+    }
+
+    /// Like [`FileHandle::sync`] but without the device barrier — pushes the
+    /// dirty pages to the device write buffer only (`sync_file_range`
+    /// analogue, used for WAL `bytes_per_sync` style background flushing).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Stale`] if the file was deleted.
+    pub fn flush_data(&self) -> FsResult<()> {
+        self.check_live()?;
+        let pages = self.fs.cache.lock().clean_file(self.data.id);
+        self.fs
+            .sync_writebacks
+            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+        let keys: Vec<PageKey> = pages.into_iter().map(|p| (self.data.id, p)).collect();
+        self.fs.write_back(&keys);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlsm_device::{profiles, SimDevice};
+    use xlsm_sim::Runtime;
+
+    fn fixture(cache_pages: usize) -> (Arc<SimFs>, Arc<SimDevice>) {
+        let dev = SimDevice::shared(profiles::optane_900p());
+        let fs = SimFs::new(
+            Arc::clone(&dev) as Arc<dyn Device>,
+            FsOptions {
+                page_cache_pages: cache_pages,
+                ..FsOptions::default()
+            },
+        );
+        (fs, dev)
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        Runtime::new().run(|| {
+            let (fs, _dev) = fixture(64);
+            let f = fs.create("a/b.sst").unwrap();
+            let off = f.append(b"hello").unwrap();
+            assert_eq!(off, 0);
+            let off2 = f.append(b" world").unwrap();
+            assert_eq!(off2, 5);
+            assert_eq!(f.read_at(0, 11).unwrap(), b"hello world");
+            assert_eq!(f.read_at(6, 5).unwrap(), b"world");
+        });
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            let f = fs.create("x").unwrap();
+            f.append(b"abc").unwrap();
+            assert!(matches!(
+                f.read_at(2, 5),
+                Err(FsError::OutOfRange { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn namespace_operations() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            fs.create("db/1.sst").unwrap();
+            fs.create("db/2.sst").unwrap();
+            fs.create("wal/1.log").unwrap();
+            assert!(fs.exists("db/1.sst"));
+            assert_eq!(fs.list("db/"), vec!["db/1.sst", "db/2.sst"]);
+            assert!(matches!(
+                fs.create("db/1.sst"),
+                Err(FsError::AlreadyExists(_))
+            ));
+            fs.rename("db/1.sst", "db/3.sst").unwrap();
+            assert!(!fs.exists("db/1.sst"));
+            assert_eq!(fs.open("db/3.sst").unwrap().read_at(0, 0).unwrap(), b"");
+            fs.delete("db/3.sst").unwrap();
+            assert!(matches!(fs.open("db/3.sst"), Err(FsError::NotFound(_))));
+        });
+    }
+
+    #[test]
+    fn stale_handle_after_delete() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            let f = fs.create("gone").unwrap();
+            f.append(b"data").unwrap();
+            fs.delete("gone").unwrap();
+            assert!(matches!(f.append(b"x"), Err(FsError::Stale(_))));
+            assert!(matches!(f.read_at(0, 1), Err(FsError::Stale(_))));
+        });
+    }
+
+    #[test]
+    fn cached_read_is_cheaper_than_cold_read() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(1024);
+            let f = fs.create("f").unwrap();
+            f.append(&vec![7u8; 64 * 1024]).unwrap();
+            f.sync().unwrap();
+            // Evict by filling the cache with another file's pages? Instead:
+            // first read is a hit (pages still dirty-resident from append).
+            let t0 = xlsm_sim::now_nanos();
+            f.read_at(0, 4096).unwrap();
+            let warm = xlsm_sim::now_nanos() - t0;
+            // Build a cold read by creating a fresh fs whose cache is tiny.
+            let (fs2, _) = fixture(16);
+            let f2 = fs2.create("f2").unwrap();
+            f2.append(&vec![7u8; 256 * 1024]).unwrap();
+            f2.sync().unwrap();
+            // Touch later pages to evict page 0, then read page 0 cold.
+            f2.read_at(128 * 1024, 64 * 1024).unwrap();
+            let t1 = xlsm_sim::now_nanos();
+            f2.read_at(0, 4096).unwrap();
+            let cold = xlsm_sim::now_nanos() - t1;
+            assert!(
+                cold > warm + 10_000,
+                "cold {cold} should exceed warm {warm} by a device read"
+            );
+        });
+    }
+
+    #[test]
+    fn sync_pushes_dirty_pages_to_device() {
+        Runtime::new().run(|| {
+            let (fs, dev) = fixture(1024);
+            let f = fs.create("f").unwrap();
+            f.append(&vec![1u8; 40 * 1024]).unwrap();
+            assert_eq!(dev.stats().writes, 0, "append must be buffered");
+            f.sync().unwrap();
+            let s = dev.stats();
+            assert!(s.writes >= 1);
+            assert_eq!(s.pages_written, 10);
+            // Second sync is a no-op.
+            f.sync().unwrap();
+            assert_eq!(dev.stats().pages_written, 10);
+        });
+    }
+
+    #[test]
+    fn dirty_throttle_forces_writeback() {
+        Runtime::new().run(|| {
+            let (fs, dev) = fixture(128); // dirty limit = 32 pages
+            let f = fs.create("big").unwrap();
+            f.append(&vec![0u8; 512 * 1024]).unwrap(); // 128 pages dirty
+            let s = fs.stats();
+            assert!(
+                s.throttle_writebacks > 0,
+                "appender should have been throttled: {s:?}"
+            );
+            assert!(dev.stats().pages_written > 0);
+            assert!(s.dirty_pages <= 32);
+        });
+    }
+
+    #[test]
+    fn delete_trims_device() {
+        Runtime::new().run(|| {
+            let (fs, dev) = fixture(1024);
+            let f = fs.create("f").unwrap();
+            f.append(&vec![1u8; 64 * 1024]).unwrap();
+            f.sync().unwrap();
+            fs.delete("f").unwrap();
+            assert!(dev.stats().trims >= 1);
+        });
+    }
+
+    #[test]
+    fn extent_reuse_after_delete() {
+        Runtime::new().run(|| {
+            // Tiny device: 2 MiB = 512 pages; chunk 256. Two files exhaust
+            // it; delete must make room for a third.
+            let dev = SimDevice::shared(
+                profiles::optane_900p().with_capacity_bytes(2 << 20),
+            );
+            let fs = SimFs::new(
+                dev as Arc<dyn Device>,
+                FsOptions {
+                    page_cache_pages: 64,
+                    ..FsOptions::default()
+                },
+            );
+            let a = fs.create("a").unwrap();
+            a.append(&vec![0u8; 1 << 20]).unwrap();
+            let b = fs.create("b").unwrap();
+            b.append(&vec![0u8; 1 << 20]).unwrap();
+            let c = fs.create("c").unwrap();
+            assert!(matches!(
+                c.append(&vec![0u8; 1 << 20]),
+                Err(FsError::DeviceFull)
+            ));
+            fs.delete("a").unwrap();
+            let c2 = fs.create("c2").unwrap();
+            c2.append(&vec![0u8; 1 << 20]).unwrap();
+        });
+    }
+
+    #[test]
+    fn concurrent_appenders_and_readers() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(2048);
+            let f = fs.create("shared").unwrap();
+            f.append(&vec![9u8; 8192]).unwrap();
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                let f = f.clone();
+                handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
+                    for _ in 0..50 {
+                        f.append(&[i as u8; 100]).unwrap();
+                    }
+                }));
+            }
+            for i in 0..4 {
+                let f = f.clone();
+                handles.push(xlsm_sim::spawn(&format!("r{i}"), move || {
+                    for _ in 0..50 {
+                        f.read_at(0, 4096).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(f.len(), 8192 + 4 * 50 * 100);
+        });
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            let f = fs.create("s").unwrap();
+            f.append(&vec![0u8; 4096]).unwrap();
+            f.read_at(0, 100).unwrap();
+            let s = fs.stats();
+            assert_eq!(s.files, 1);
+            assert!(s.cache_hits >= 1);
+        });
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use xlsm_device::{profiles, SimDevice};
+    use xlsm_sim::Runtime;
+
+    #[test]
+    fn prefetch_warms_the_cache_in_one_device_read() {
+        Runtime::new().run(|| {
+            let dev = SimDevice::shared(profiles::intel_530_sata());
+            let fs = SimFs::new(
+                Arc::clone(&dev) as Arc<dyn Device>,
+                FsOptions {
+                    page_cache_pages: 4096,
+                    ..FsOptions::default()
+                },
+            );
+            let f = fs.create("big").unwrap();
+            f.append(&vec![7u8; 256 << 10]).unwrap();
+            f.sync().unwrap();
+            // Evict by recreating a cold filesystem? Instead drop residency:
+            // pages are resident from the append; delete + rebuild cold.
+            let reads_before = dev.stats().reads;
+            f.prefetch(0, 256 << 10).unwrap();
+            let reads_mid = dev.stats().reads;
+            assert_eq!(reads_mid, reads_before, "already-resident pages need no I/O");
+            // Cold path: new fs over same device style — use a fresh file
+            // whose pages we explicitly push out with a tiny cache.
+            let fs2 = SimFs::new(
+                Arc::clone(&dev) as Arc<dyn Device>,
+                FsOptions {
+                    page_cache_pages: 1024,
+                    ..FsOptions::default()
+                },
+            );
+            let g = fs2.create("cold").unwrap();
+            g.append(&vec![9u8; 8 << 20]).unwrap(); // far beyond the cache
+            g.sync().unwrap();
+            let r0 = dev.stats().reads;
+            g.prefetch(0, 256 << 10).unwrap();
+            let r1 = dev.stats().reads;
+            assert!(r1 > r0, "cold prefetch must read the device");
+            assert!(
+                r1 - r0 <= 4,
+                "prefetch must coalesce into few large reads, got {}",
+                r1 - r0
+            );
+            // Now the reads are cache hits (no further device reads).
+            let t0 = xlsm_sim::now_nanos();
+            g.read_at(0, 64 << 10).unwrap();
+            let warm = xlsm_sim::now_nanos() - t0;
+            assert_eq!(dev.stats().reads, r1, "post-prefetch read must hit cache");
+            assert!(warm < 100_000, "warm read should be CPU-cheap: {warm} ns");
+        });
+    }
+
+    #[test]
+    fn prefetch_clamps_past_eof() {
+        Runtime::new().run(|| {
+            let fs = SimFs::new(
+                SimDevice::shared(profiles::optane_900p()),
+                FsOptions::default(),
+            );
+            let f = fs.create("short").unwrap();
+            f.append(b"tiny").unwrap();
+            f.prefetch(0, 1 << 20).unwrap(); // way past EOF: fine
+            f.prefetch(1 << 30, 4096).unwrap(); // fully past EOF: no-op
+        });
+    }
+}

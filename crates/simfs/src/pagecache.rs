@@ -1,0 +1,272 @@
+//! Clock (second-chance) page cache model.
+//!
+//! The cache tracks *which* 4-KiB pages are resident and dirty — payloads
+//! live in the files themselves — so it is purely a timing/accounting
+//! structure. Eviction prefers clean pages; when pressure forces a dirty
+//! eviction the caller receives the victims and must charge device writes
+//! for them (the "kswapd runs in your context" simplification).
+
+use std::collections::HashMap;
+
+/// Identifies one cached page: `(file id, page index within file)`.
+pub(crate) type PageKey = (u64, u64);
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    key: PageKey,
+    occupied: bool,
+    referenced: bool,
+    dirty: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct PageCache {
+    capacity: usize,
+    map: HashMap<PageKey, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+    dirty: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub dirty_evictions: u64,
+}
+
+impl PageCache {
+    pub fn new(capacity: usize) -> PageCache {
+        assert!(capacity > 0, "page cache needs at least one page");
+        PageCache {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            slots: vec![Slot::default(); capacity],
+            hand: 0,
+            dirty: 0,
+            hits: 0,
+            misses: 0,
+            dirty_evictions: 0,
+        }
+    }
+
+    pub fn dirty_count(&self) -> usize {
+        self.dirty
+    }
+
+    pub fn resident_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Lookup for a read; marks the page referenced on hit.
+    pub fn touch(&mut self, key: PageKey) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].referenced = true;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Clock sweep: find a victim slot, preferring clean unreferenced pages.
+    /// Returns `(slot index, evicted dirty key if any)`.
+    fn evict_one(&mut self) -> (usize, Option<PageKey>) {
+        // Pass 1..=3: clear reference bits, skip dirty; final pass accepts dirty.
+        for pass in 0..4 {
+            let allow_dirty = pass == 3;
+            for _ in 0..self.capacity {
+                let i = self.hand;
+                self.hand = (self.hand + 1) % self.capacity;
+                let s = &mut self.slots[i];
+                if !s.occupied {
+                    return (i, None);
+                }
+                if s.referenced {
+                    s.referenced = false;
+                    continue;
+                }
+                if s.dirty && !allow_dirty {
+                    continue;
+                }
+                let key = s.key;
+                let was_dirty = s.dirty;
+                if was_dirty {
+                    self.dirty -= 1;
+                    self.dirty_evictions += 1;
+                }
+                s.occupied = false;
+                self.map.remove(&key);
+                return (i, if was_dirty { Some(key) } else { None });
+            }
+        }
+        unreachable!("clock sweep must find a victim within four passes");
+    }
+
+    /// Inserts a page (no-op if already resident; `dirty` is OR-ed in).
+    /// Returns the key of a dirty page that had to be evicted, if any.
+    pub fn insert(&mut self, key: PageKey, dirty: bool) -> Option<PageKey> {
+        if let Some(&slot) = self.map.get(&key) {
+            let s = &mut self.slots[slot];
+            s.referenced = true;
+            if dirty && !s.dirty {
+                s.dirty = true;
+                self.dirty += 1;
+            }
+            return None;
+        }
+        let (slot, victim) = self.evict_one();
+        self.slots[slot] = Slot {
+            key,
+            occupied: true,
+            referenced: true,
+            dirty,
+        };
+        if dirty {
+            self.dirty += 1;
+        }
+        self.map.insert(key, slot);
+        victim
+    }
+
+    /// Clears the dirty bit of every resident page of `file`, returning the
+    /// page indices that were dirty (in ascending order, for coalescing).
+    pub fn clean_file(&mut self, file: u64) -> Vec<u64> {
+        let mut pages = Vec::new();
+        for s in &mut self.slots {
+            if s.occupied && s.dirty && s.key.0 == file {
+                s.dirty = false;
+                self.dirty -= 1;
+                pages.push(s.key.1);
+            }
+        }
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Drops every page of `file` (delete); dirty pages of a deleted file
+    /// need no writeback. Returns how many pages were resident.
+    pub fn remove_file(&mut self, file: u64) -> usize {
+        let mut removed = 0;
+        for s in &mut self.slots {
+            if s.occupied && s.key.0 == file {
+                if s.dirty {
+                    self.dirty -= 1;
+                }
+                s.occupied = false;
+                self.map.remove(&s.key);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Takes up to `n` dirty pages in clock order (oldest-ish first) for
+    /// dirty-ratio writeback, marking them clean. Returns `(file, page)`
+    /// pairs.
+    pub fn take_dirty_batch(&mut self, n: usize) -> Vec<PageKey> {
+        let mut out = Vec::with_capacity(n);
+        if self.dirty == 0 {
+            return out;
+        }
+        let start = self.hand;
+        for off in 0..self.capacity {
+            if out.len() >= n || self.dirty == 0 {
+                break;
+            }
+            let i = (start + off) % self.capacity;
+            let s = &mut self.slots[i];
+            if s.occupied && s.dirty {
+                s.dirty = false;
+                self.dirty -= 1;
+                out.push(s.key);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = PageCache::new(4);
+        assert!(!c.touch((1, 0)));
+        c.insert((1, 0), false);
+        assert!(c.touch((1, 0)));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_clean() {
+        let mut c = PageCache::new(2);
+        c.insert((1, 0), true); // dirty
+        c.insert((1, 1), false); // clean
+        // Next insert must evict the clean page, keeping the dirty one.
+        let victim = c.insert((1, 2), false);
+        assert_eq!(victim, None);
+        assert!(c.touch((1, 0)), "dirty page should survive");
+        assert!(!c.touch((1, 1)), "clean page should be evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reported_when_unavoidable() {
+        let mut c = PageCache::new(2);
+        c.insert((1, 0), true);
+        c.insert((1, 1), true);
+        let victim = c.insert((1, 2), false);
+        assert!(victim.is_some(), "all-dirty cache must report a writeback");
+        assert_eq!(c.dirty_evictions, 1);
+    }
+
+    #[test]
+    fn clean_file_returns_sorted_pages() {
+        let mut c = PageCache::new(8);
+        c.insert((3, 5), true);
+        c.insert((3, 1), true);
+        c.insert((4, 2), true);
+        c.insert((3, 3), false);
+        assert_eq!(c.clean_file(3), vec![1, 5]);
+        assert_eq!(c.dirty_count(), 1); // file 4's page remains dirty
+        assert_eq!(c.clean_file(3), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn remove_file_drops_everything() {
+        let mut c = PageCache::new(8);
+        c.insert((7, 0), true);
+        c.insert((7, 1), false);
+        c.insert((8, 0), false);
+        assert_eq!(c.remove_file(7), 2);
+        assert_eq!(c.dirty_count(), 0);
+        assert!(!c.touch((7, 0)));
+        assert!(c.touch((8, 0)));
+    }
+
+    #[test]
+    fn take_dirty_batch_drains() {
+        let mut c = PageCache::new(8);
+        for i in 0..6 {
+            c.insert((1, i), true);
+        }
+        let batch = c.take_dirty_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(c.dirty_count(), 2);
+        let batch2 = c.take_dirty_batch(10);
+        assert_eq!(batch2.len(), 2);
+        assert_eq!(c.dirty_count(), 0);
+        assert!(c.take_dirty_batch(1).is_empty());
+    }
+
+    #[test]
+    fn reinsert_dirty_upgrades() {
+        let mut c = PageCache::new(4);
+        c.insert((1, 0), false);
+        assert_eq!(c.dirty_count(), 0);
+        c.insert((1, 0), true);
+        assert_eq!(c.dirty_count(), 1);
+        // Idempotent.
+        c.insert((1, 0), true);
+        assert_eq!(c.dirty_count(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Raw-device microbenchmark — the Intel Open Storage Toolkit stand-in.
+//!
+//! Reproduces the paper's Fig. 1 methodology: 4-KiB random requests from a
+//! fixed number of closed-loop threads with a given read/write mix over the
+//! first fraction of the device, bypassing the filesystem and KV layers.
+
+use std::sync::Arc;
+use std::time::Duration;
+use xlsm_device::{Device, DeviceProfile, SimDevice};
+use xlsm_engine::Histogram;
+use xlsm_sim::rng::Xoshiro256;
+
+/// Outcome of one raw I/O run.
+#[derive(Clone, Debug)]
+pub struct RawIoResult {
+    /// Total operations completed.
+    pub total_ops: u64,
+    /// Throughput in kop/s.
+    pub kops: f64,
+    /// Mean read latency, µs.
+    pub mean_read_us: f64,
+    /// Mean write latency, µs.
+    pub mean_write_us: f64,
+    /// p90 read latency, µs.
+    pub p90_read_us: f64,
+    /// p90 write latency, µs.
+    pub p90_write_us: f64,
+    /// Device write amplification at the end of the run.
+    pub write_amp: f64,
+}
+
+/// Runs 4-KiB random I/O with `threads` closed-loop clients over the first
+/// `span_fraction` of a device built from `profile`, with the given write
+/// fraction, for `duration` of virtual time. Must be called inside a sim
+/// runtime.
+pub fn raw_mixed_kops(
+    profile: DeviceProfile,
+    threads: u64,
+    span_fraction: f64,
+    write_fraction: f64,
+    duration: Duration,
+) -> RawIoResult {
+    assert!((0.0..=1.0).contains(&write_fraction));
+    assert!(span_fraction > 0.0 && span_fraction <= 1.0);
+    let span = ((profile.capacity_pages as f64) * span_fraction) as u64;
+    let dev = Arc::new(SimDevice::new(profile));
+    let read_hist = Arc::new(Histogram::new());
+    let write_hist = Arc::new(Histogram::new());
+    let start = xlsm_sim::now_nanos();
+    let end = start + duration.as_nanos() as u64;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let dev = Arc::clone(&dev);
+        let read_hist = Arc::clone(&read_hist);
+        let write_hist = Arc::clone(&write_hist);
+        handles.push(xlsm_sim::spawn(&format!("rawio-{t}"), move || {
+            let mut rng = Xoshiro256::new(0xBEEF ^ t);
+            let mut ops = 0u64;
+            while xlsm_sim::now_nanos() < end {
+                let lpn = rng.next_below(span.max(1));
+                let is_write = rng.next_f64() < write_fraction;
+                let t0 = xlsm_sim::now_nanos();
+                if is_write {
+                    dev.write(lpn, 1);
+                    write_hist.record(xlsm_sim::now_nanos() - t0);
+                } else {
+                    dev.read(lpn, 1);
+                    read_hist.record(xlsm_sim::now_nanos() - t0);
+                }
+                ops += 1;
+            }
+            ops
+        }));
+    }
+    let total_ops: u64 = handles.into_iter().map(|h| h.join()).sum();
+    let stats = dev.stats();
+    RawIoResult {
+        total_ops,
+        kops: total_ops as f64 / duration.as_secs_f64() / 1e3,
+        mean_read_us: read_hist.mean() as f64 / 1e3,
+        mean_write_us: write_hist.mean() as f64 / 1e3,
+        p90_read_us: read_hist.quantile(0.9) as f64 / 1e3,
+        p90_write_us: write_hist.quantile(0.9) as f64 / 1e3,
+        write_amp: stats.write_amp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlsm_device::profiles;
+    use xlsm_sim::Runtime;
+
+    #[test]
+    fn fig1_raw_gap_reproduces() {
+        // The paper's Fig. 1 anchors: SATA ≈ 26 kop/s, Optane ≈ 408 kop/s,
+        // a ~15.7× gap. Accept a 12–19× band.
+        let (sata, xp) = Runtime::new().run(|| {
+            let d = Duration::from_millis(300);
+            let sata =
+                raw_mixed_kops(profiles::intel_530_sata(), 8, 0.125, 0.5, d);
+            let xp = raw_mixed_kops(profiles::optane_900p(), 8, 0.125, 0.5, d);
+            (sata, xp)
+        });
+        assert!(
+            (20.0..36.0).contains(&sata.kops),
+            "SATA raw kops {:.1} outside calibration band",
+            sata.kops
+        );
+        assert!(
+            (330.0..500.0).contains(&xp.kops),
+            "Optane raw kops {:.1} outside calibration band",
+            xp.kops
+        );
+        let speedup = xp.kops / sata.kops;
+        assert!(
+            (11.0..20.0).contains(&speedup),
+            "raw speedup {speedup:.1} should be ≈ 15.7x"
+        );
+    }
+
+    #[test]
+    fn read_latency_ordering() {
+        let (sata, pcie, xp) = Runtime::new().run(|| {
+            let d = Duration::from_millis(150);
+            (
+                raw_mixed_kops(profiles::intel_530_sata(), 4, 0.1, 0.0, d),
+                raw_mixed_kops(profiles::intel_750_pcie(), 4, 0.1, 0.0, d),
+                raw_mixed_kops(profiles::optane_900p(), 4, 0.1, 0.0, d),
+            )
+        });
+        assert!(sata.mean_read_us > pcie.mean_read_us);
+        assert!(pcie.mean_read_us > xp.mean_read_us);
+        assert_eq!(sata.total_ops, sata.total_ops);
+    }
+
+    #[test]
+    fn sustained_pure_write_amplifies_flash_only() {
+        let (sata, xp) = Runtime::new().run(|| {
+            let d = Duration::from_millis(500);
+            (
+                // Full-span writes on a small device to hit GC quickly.
+                raw_mixed_kops(
+                    profiles::intel_530_sata().with_capacity_bytes(64 << 20),
+                    4,
+                    1.0,
+                    1.0,
+                    d,
+                ),
+                raw_mixed_kops(profiles::optane_900p(), 4, 1.0, 1.0, d),
+            )
+        });
+        assert!(sata.write_amp >= 1.0);
+        assert_eq!(xp.write_amp, 1.0, "XPoint never garbage-collects");
+    }
+}

@@ -1,0 +1,96 @@
+//! Background samplers: turn a closure into a time series.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xlsm_sim::JoinHandle;
+
+/// Samples a closure at a fixed virtual-time interval on a background sim
+/// thread, producing `(t_nanos, value)` pairs. Used for the Level-0
+/// file-count series (Fig. 8), the stall-rate trace, and queue depths.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Vec<(u64, f64)>>>,
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler").finish_non_exhaustive()
+    }
+}
+
+impl Sampler {
+    /// Starts sampling `probe` every `interval_nanos`.
+    pub fn start(
+        name: &str,
+        interval_nanos: u64,
+        probe: impl Fn() -> f64 + Send + 'static,
+    ) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = xlsm_sim::spawn(name, move || {
+            let mut out = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                out.push((xlsm_sim::now_nanos(), probe()));
+                xlsm_sim::sleep_nanos(interval_nanos);
+            }
+            out
+        });
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler and returns the series.
+    pub fn finish(mut self) -> Vec<(u64, f64)> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.take().expect("finish called twice").join()
+    }
+}
+
+/// Averages the values of a `(t, v)` series, optionally restricted to
+/// samples at or after `from_nanos`.
+pub fn series_mean(series: &[(u64, f64)], from_nanos: u64) -> f64 {
+    let vals: Vec<f64> = series
+        .iter()
+        .filter(|(t, _)| *t >= from_nanos)
+        .map(|(_, v)| *v)
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use xlsm_sim::Runtime;
+
+    #[test]
+    fn sampler_collects_series() {
+        Runtime::new().run(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let c = Arc::clone(&counter);
+            let s = Sampler::start("probe", 1_000_000, move || {
+                c.fetch_add(1, Ordering::Relaxed) as f64
+            });
+            xlsm_sim::sleep_nanos(10_500_000);
+            let series = s.finish();
+            assert!(series.len() >= 10, "got {} samples", series.len());
+            assert_eq!(series[0].0, 0);
+            assert_eq!(series[1].0, 1_000_000);
+            assert_eq!(series[0].1, 0.0);
+        });
+    }
+
+    #[test]
+    fn series_mean_with_cutoff() {
+        let s = vec![(0, 10.0), (100, 20.0), (200, 30.0)];
+        assert_eq!(series_mean(&s, 0), 20.0);
+        assert_eq!(series_mean(&s, 100), 25.0);
+        assert_eq!(series_mean(&s, 999), 0.0);
+    }
+}

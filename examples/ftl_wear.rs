@@ -1,0 +1,86 @@
+//! Device-level tour: watch the flash FTL's garbage collection develop as a
+//! drive fills, and contrast it with the 3D XPoint SSD that has none.
+//!
+//! This exercises the `xlsm-device` public API directly — the layer the
+//! paper's Fig. 1 raw experiment runs on.
+//!
+//! ```text
+//! cargo run --release --example ftl_wear
+//! ```
+
+use std::time::Duration;
+use xlsm_suite::device::{profiles, Device, SimDevice};
+use xlsm_suite::sim::rng::Xoshiro256;
+use xlsm_suite::sim::Runtime;
+
+fn main() {
+    Runtime::new().run(|| {
+        // A deliberately small flash device so GC dynamics show quickly.
+        let profile = profiles::intel_530_sata().with_capacity_bytes(32 << 20);
+        let pages = profile.capacity_pages;
+        let flash = SimDevice::new(profile);
+        let mut rng = Xoshiro256::new(2024);
+
+        println!("phase 1: sequential fill (no GC expected)");
+        let t0 = xlsm_suite::sim::now_nanos();
+        for lpn in 0..pages {
+            flash.write(lpn, 1);
+        }
+        let fill = flash.stats();
+        println!(
+            "  wrote {} pages in {:?}; write amp {:.2}, erases {}",
+            fill.pages_written,
+            Duration::from_nanos(xlsm_suite::sim::now_nanos() - t0),
+            fill.write_amp,
+            fill.erases
+        );
+
+        println!("phase 2: random overwrites at full utilization (GC territory)");
+        let t1 = xlsm_suite::sim::now_nanos();
+        for _ in 0..pages * 2 {
+            flash.write(rng.next_below(pages), 1);
+        }
+        let after = flash.stats();
+        println!(
+            "  wrote {} more pages in {:?}; write amp {:.2}, GC moved {} pages, erases {}",
+            after.pages_written - fill.pages_written,
+            Duration::from_nanos(xlsm_suite::sim::now_nanos() - t1),
+            after.write_amp,
+            after.gc_moved_pages,
+            after.erases
+        );
+        println!(
+            "  sustained write latency grew to {} us mean (stalls: {} ms total)",
+            after.mean_write_ns() / 1_000,
+            after.write_stall_ns / 1_000_000
+        );
+
+        println!("phase 3: TRIM half the space, overwrite again (GC relief)");
+        flash.trim(0, pages / 2);
+        let moved_before = flash.stats().gc_moved_pages;
+        for _ in 0..pages / 2 {
+            flash.write(rng.next_below(pages / 2), 1);
+        }
+        let relief = flash.stats();
+        println!(
+            "  GC moved only {} pages this phase (write amp now {:.2})",
+            relief.gc_moved_pages - moved_before,
+            relief.write_amp
+        );
+
+        println!("phase 4: the same abuse on 3D XPoint — no FTL, no GC");
+        let xpoint = SimDevice::new(profiles::optane_900p().with_capacity_bytes(32 << 20));
+        let t2 = xlsm_suite::sim::now_nanos();
+        for _ in 0..10_000 {
+            xpoint.write(rng.next_below(8192), 1);
+        }
+        let xp = xpoint.stats();
+        println!(
+            "  10k random overwrites in {:?}; write amp {:.2}, erases {}, mean write {} us",
+            Duration::from_nanos(xlsm_suite::sim::now_nanos() - t2),
+            xp.write_amp,
+            xp.erases,
+            xp.mean_write_ns() / 1_000
+        );
+    });
+}
