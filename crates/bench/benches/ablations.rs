@@ -10,8 +10,8 @@ use std::time::Duration;
 use xlsm_core::casestudy::nvm_wal::{apply_wal_placement, WalPlacement};
 use xlsm_device::{profiles, SimDevice};
 use xlsm_engine::{Db, DbOptions};
-use xlsm_simfs::{FsOptions, SimFs};
 use xlsm_sim::Runtime;
+use xlsm_simfs::{FsOptions, SimFs};
 use xlsm_workload::{fill_db, run_workload, KeyDistribution, WorkloadSpec};
 
 fn spec() -> WorkloadSpec {

@@ -18,7 +18,12 @@ fn bench_memtable(c: &mut Criterion) {
             || MemTable::new(0),
             |m| {
                 for i in 0..1000u64 {
-                    m.add(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), b"value");
+                    m.add(
+                        i + 1,
+                        ValueType::Value,
+                        format!("key{i:08}").as_bytes(),
+                        b"value",
+                    );
                 }
                 m
             },
@@ -27,7 +32,12 @@ fn bench_memtable(c: &mut Criterion) {
     });
     let filled = MemTable::new(0);
     for i in 0..10_000u64 {
-        filled.add(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), b"value");
+        filled.add(
+            i + 1,
+            ValueType::Value,
+            format!("key{i:08}").as_bytes(),
+            b"value",
+        );
     }
     g.bench_function("get_hit_10k", |b| {
         let mut i = 0u64;
@@ -43,7 +53,9 @@ fn bench_memtable(c: &mut Criterion) {
 }
 
 fn bench_bloom(c: &mut Criterion) {
-    let keys: Vec<Vec<u8>> = (0..4096u32).map(|i| format!("key{i:08}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> = (0..4096u32)
+        .map(|i| format!("key{i:08}").into_bytes())
+        .collect();
     let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
     let mut g = c.benchmark_group("bloom");
     g.throughput(Throughput::Elements(keys.len() as u64));

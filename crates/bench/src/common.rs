@@ -44,7 +44,10 @@ impl BenchConfig {
 
     /// Reads `XLSM_QUICK=1` from the environment.
     pub fn from_env() -> BenchConfig {
-        if std::env::var("XLSM_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("XLSM_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             BenchConfig::quick()
         } else {
             BenchConfig::default()

@@ -1,15 +1,19 @@
 //! One function per paper figure (or per shared sweep).
 
-use crate::common::{devices, label, run_one, run_one_with_opts, run_sequence, with_testbed, BenchConfig};
+use crate::common::{
+    devices, label, run_one, run_one_with_opts, run_sequence, with_testbed, BenchConfig,
+};
 use std::sync::Arc;
 use std::time::Duration;
 use xlsm_core::casestudy::dynamic_l0::{DynamicL0Config, DynamicL0Manager};
 use xlsm_core::casestudy::nvm_wal::{apply_wal_placement, WalPlacement};
-use xlsm_core::report::{f, Table};
+use xlsm_core::report::{f, stall_breakdown_table, stall_timeline_table, Table};
 use xlsm_core::TwoStageThrottlePolicy;
 use xlsm_engine::DbOptions;
 use xlsm_sim::Runtime;
-use xlsm_workload::{raw_mixed_kops, run_workload, BurstSpec, KeyDistribution, Sampler, WorkloadSpec};
+use xlsm_workload::{
+    raw_mixed_kops, run_workload, BurstSpec, KeyDistribution, Sampler, WorkloadSpec,
+};
 
 /// A named table destined for `results/<name>.tsv`.
 pub type Figure = (String, Table);
@@ -132,8 +136,16 @@ pub fn fig04_to_07(cfg: &BenchConfig) -> Vec<Figure> {
     }
     let mut out = Vec::new();
     for (name, title, results) in [
-        ("fig04", "Fig 4: throughput timeline, 5% writes (kop/s per 100ms)", &results_5),
-        ("fig05", "Fig 5: throughput timeline, 90% writes (kop/s per 100ms)", &results_90),
+        (
+            "fig04",
+            "Fig 4: throughput timeline, 5% writes (kop/s per 100ms)",
+            &results_5,
+        ),
+        (
+            "fig05",
+            "Fig 5: throughput timeline, 90% writes (kop/s per 100ms)",
+            &results_90,
+        ),
     ] {
         let mut t = Table::new(title, &["t_s", "sata-flash", "pcie-flash", "3d-xpoint"]);
         for i in 0..results[0].timeline.len() {
@@ -153,16 +165,8 @@ pub fn fig04_to_07(cfg: &BenchConfig) -> Vec<Figure> {
         out.push((name.to_owned(), t));
     }
     for (name, title, pick) in [
-        (
-            "fig06",
-            "Fig 6: read latency at 90% writes (us)",
-            true,
-        ),
-        (
-            "fig07",
-            "Fig 7: write latency at 90% writes (us)",
-            false,
-        ),
+        ("fig06", "Fig 6: read latency at 90% writes (us)", true),
+        ("fig07", "Fig 7: write latency at 90% writes (us)", false),
     ] {
         let mut t = Table::new(title, &["device", "p50_us", "p90_us", "p99_us"]);
         for (i, profile) in devices().iter().enumerate() {
@@ -216,9 +220,8 @@ pub fn fig08_to_12(cfg: &BenchConfig) -> Vec<Figure> {
             let spec = cfg.spec().with_threads(4).with_write_fraction(0.5);
             let (avg_l0, r) = with_testbed(profile.clone(), opts, cfg, move |tb| {
                 let db = Arc::clone(&tb.db);
-                let sampler = Sampler::start("l0-count", 50_000_000, move || {
-                    db.num_l0_files() as f64
-                });
+                let sampler =
+                    Sampler::start("l0-count", 50_000_000, move || db.num_l0_files() as f64);
                 let r = run_workload(&tb.db, &spec);
                 let series = sampler.finish();
                 (xlsm_workload::sampler::series_mean(&series, 0), r)
@@ -255,10 +258,7 @@ pub fn fig08_to_12(cfg: &BenchConfig) -> Vec<Figure> {
         ("fig10", "Fig 10: read p90 (us) vs num of L0 files"),
         ("fig12", "Fig 12: write p90 (us) vs SST file size (MB)"),
     ] {
-        let mut t = Table::new(
-            title,
-            &["device", "file_size_mb", "avg_l0_files", "value"],
-        );
+        let mut t = Table::new(title, &["device", "file_size_mb", "avg_l0_files", "value"]);
         for (d, points) in per_device.iter().enumerate() {
             for p in points {
                 let v = match name {
@@ -340,7 +340,10 @@ pub fn fig13_to_16(cfg: &BenchConfig) -> Vec<Figure> {
         &["device", "avg_waiting_writers"],
     );
     for (d, label) in dev_labels.iter().enumerate() {
-        t16.row(vec![(*label).into(), f(all[d][last].avg_waiting_writers, 2)]);
+        t16.row(vec![
+            (*label).into(),
+            f(all[d][last].avg_waiting_writers, 2),
+        ]);
     }
     out.push(("fig16".into(), t16));
     out
@@ -397,7 +400,8 @@ pub fn fig18(cfg: &BenchConfig) -> Vec<Figure> {
     };
     let spec = WorkloadSpec {
         burst: Some(burst),
-        ..cfg.spec()
+        ..cfg
+            .spec()
             .with_threads(6)
             .with_write_fraction(0.5)
             .with_duration(cfg.duration * 4)
@@ -540,6 +544,51 @@ pub fn fig20(cfg: &BenchConfig) -> Vec<Figure> {
 }
 
 // ---------------------------------------------------------------------------
+// Stall accounting — Fig. 6/7-style attribution from the engine's registry
+// ---------------------------------------------------------------------------
+
+/// Stall attribution: regenerates the paper's Fig. 6/7-style stall analysis
+/// from the engine's cross-layer accounting instead of client-side latency
+/// sampling. One write-heavy run on the 3D XPoint SSD with a deliberately
+/// tight Level-0 budget yields two tables:
+/// * `stall_timeline` — the controller-transition event log: when each
+///   delay/stop episode began, what triggered it (L0 pressure vs memtable
+///   limit), how long the previous level lasted, and the adaptive rate;
+/// * `stall_breakdown` — where every write nanosecond went (queue wait, WAL
+///   append, memtable insert, delay pacing, stop wait) plus the
+///   reconciliation coverage against observed end-to-end latency.
+pub fn fig_stalls(cfg: &BenchConfig) -> Vec<Figure> {
+    let xpoint = xlsm_device::profiles::optane_900p();
+    let opts = DbOptions {
+        write_buffer_size: 1 << 20,
+        target_file_size_base: 1 << 20,
+        level0_file_num_compaction_trigger: 4,
+        level0_slowdown_writes_trigger: 8,
+        level0_stop_writes_trigger: 12,
+        ..DbOptions::default()
+    };
+    let spec = cfg.spec().with_threads(4).with_write_fraction(0.9);
+    let metrics = with_testbed(xpoint, opts, cfg, move |tb| {
+        // Drain fill-phase transitions so the timeline covers the run.
+        let _ = tb.db.metrics();
+        run_workload(&tb.db, &spec);
+        tb.db.metrics()
+    });
+    let timeline = stall_timeline_table(
+        "Stall timeline: controller transitions, 90% writes, 3D XPoint",
+        &metrics.stall_events,
+    );
+    let breakdown = stall_breakdown_table(
+        "Stall breakdown: write-time attribution, 90% writes, 3D XPoint",
+        &metrics.stall,
+    );
+    vec![
+        ("stall_timeline".into(), timeline),
+        ("stall_breakdown".into(), breakdown),
+    ]
+}
+
+// ---------------------------------------------------------------------------
 // Extension — key skew (beyond the paper)
 // ---------------------------------------------------------------------------
 
@@ -584,5 +633,36 @@ pub fn all_figures(cfg: &BenchConfig) -> Vec<Figure> {
     out.extend(fig18(cfg));
     out.extend(fig19(cfg));
     out.extend(fig20(cfg));
+    out.extend(fig_stalls(cfg));
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The stall figures must carry a non-empty timeline series (transitions
+    /// drained from the engine's event log) and a breakdown that reconciles.
+    #[test]
+    fn stall_figures_emit_series() {
+        let cfg = BenchConfig {
+            key_count: 2 << 10,
+            value_size: 512,
+            duration: Duration::from_millis(300),
+            seed: 0xF16,
+        };
+        let figs = fig_stalls(&cfg);
+        assert_eq!(figs.len(), 2);
+        let (name, timeline) = &figs[0];
+        assert_eq!(name, "stall_timeline");
+        assert!(
+            !timeline.rows.is_empty(),
+            "tight L0 budget at 90% writes must produce controller transitions"
+        );
+        assert!(timeline.rows.iter().any(|r| r[1] != "clear"));
+        let (name, breakdown) = &figs[1];
+        assert_eq!(name, "stall_breakdown");
+        let ops_row = breakdown.rows.iter().find(|r| r[0] == "ops").unwrap();
+        assert_ne!(ops_row[1], "0", "breakdown must cover recorded writes");
+    }
 }

@@ -16,6 +16,7 @@
 //! | [`fig18`] | Fig. 18 | two-stage throttling under bursts |
 //! | [`fig19`] | Fig. 19 | dynamic Level-0 management |
 //! | [`fig20`] | Fig. 20 | WAL placement: SSD vs NVM vs disabled |
+//! | [`fig_stalls`] | Figs. 6/7 (stall view) | cross-layer stall timeline + write-time breakdown |
 
 #![warn(missing_docs)]
 

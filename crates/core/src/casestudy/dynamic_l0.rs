@@ -131,8 +131,8 @@ mod tests {
     use super::*;
     use xlsm_device::{profiles, SimDevice};
     use xlsm_engine::DbOptions;
-    use xlsm_simfs::{FsOptions, SimFs};
     use xlsm_sim::Runtime;
+    use xlsm_simfs::{FsOptions, SimFs};
 
     #[test]
     fn target_bytes_follows_ratio() {
@@ -144,7 +144,7 @@ mod tests {
         let read_heavy = DynamicL0Manager::target_bytes(&cfg, 0.1);
         assert_eq!(write_heavy, 1 << 20); // 24 MiB / 24 files
         assert_eq!(read_heavy, 4 << 20); // 24 MiB / 6 files
-        // Boundary: exactly at the threshold counts as read-intensive.
+                                         // Boundary: exactly at the threshold counts as read-intensive.
         assert_eq!(DynamicL0Manager::target_bytes(&cfg, 0.25), read_heavy);
     }
 
@@ -177,13 +177,21 @@ mod tests {
                 let _ = db.get(b"k").unwrap();
             }
             xlsm_sim::sleep_nanos(60_000_000);
-            assert_eq!(db.write_buffer_size(), 4 << 20, "read-heavy → large memtable");
+            assert_eq!(
+                db.write_buffer_size(),
+                4 << 20,
+                "read-heavy → large memtable"
+            );
             // Write-heavy phase.
             for i in 0..60u32 {
                 db.put(format!("w{i}").as_bytes(), b"v").unwrap();
             }
             xlsm_sim::sleep_nanos(60_000_000);
-            assert_eq!(db.write_buffer_size(), 1 << 20, "write-heavy → small memtable");
+            assert_eq!(
+                db.write_buffer_size(),
+                1 << 20,
+                "write-heavy → small memtable"
+            );
             let log = mgr.stop();
             assert!(log.len() >= 2);
             db.close();

@@ -139,7 +139,8 @@ mod tests {
                 );
                 let db = Db::open(data_fs, opts).unwrap();
                 for i in 0..200u32 {
-                    db.put(format!("key{i:06}").as_bytes(), &[0u8; 256]).unwrap();
+                    db.put(format!("key{i:06}").as_bytes(), &[0u8; 256])
+                        .unwrap();
                 }
                 let p90 = db.stats().write_latency.quantile(0.9);
                 db.close();

@@ -36,7 +36,7 @@ impl TwoStageThrottlePolicy {
 
 impl ThrottlePolicy for TwoStageThrottlePolicy {
     fn evaluate(&self, sig: &StallSignals, opts: &DbOptions) -> StallLevel {
-        if sig.memtables > opts.max_write_buffer_number {
+        if sig.memtables >= opts.max_write_buffer_number {
             return StallLevel::Stop;
         }
         if sig.l0_files >= opts.level0_stop_writes_trigger {
@@ -65,7 +65,7 @@ mod tests {
     fn sig(l0: usize) -> StallSignals {
         StallSignals {
             l0_files: l0,
-            memtables: 2,
+            memtables: 1,
             pending_compaction_bytes: 0,
             compacted_bytes: 0,
         }
@@ -92,9 +92,10 @@ mod tests {
     fn memtable_pressure_still_stops() {
         let opts = DbOptions::default();
         let p = TwoStageThrottlePolicy::new(1);
+        // Stops when the unflushed memtable count reaches the maximum.
         let s = StallSignals {
             l0_files: 0,
-            memtables: 3,
+            memtables: 2,
             pending_compaction_bytes: 0,
             compacted_bytes: 0,
         };

@@ -88,12 +88,7 @@ mod tests {
     #[test]
     fn testbed_builds_and_serves() {
         Runtime::new().run(|| {
-            let tb = Testbed::new(
-                profiles::optane_900p(),
-                scaled_db_options(),
-                64 << 20,
-            )
-            .unwrap();
+            let tb = Testbed::new(profiles::optane_900p(), scaled_db_options(), 64 << 20).unwrap();
             tb.db.put(b"k", b"v").unwrap();
             assert_eq!(tb.db.get(b"k").unwrap(), Some(b"v".to_vec()));
             use xlsm_device::Device;

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
+use xlsm_engine::{StallEvent, StallTotals};
 
 /// A simple column-aligned table.
 #[derive(Clone, Debug, Default)]
@@ -89,6 +90,83 @@ pub fn f(v: f64, prec: usize) -> String {
     format!("{v:.prec$}")
 }
 
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Builds the per-mechanism write-time attribution table from the engine's
+/// stall-accounting totals: one row per component (queue wait, WAL append,
+/// memtable insert, delay pacing, stop wait), each with its total time and
+/// share of observed end-to-end write latency, plus the unattributed
+/// remainder and the coverage summary the reconciliation tests assert on.
+pub fn stall_breakdown_table(title: &str, t: &StallTotals) -> Table {
+    let mut table = Table::new(title, &["component", "total_ms", "pct_of_write_time"]);
+    let total = t.total_write_ns;
+    let pct = |ns: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            ns as f64 * 100.0 / total as f64
+        }
+    };
+    for (name, ns) in [
+        ("queue-wait", t.queue_wait_ns),
+        ("wal-append", t.wal_append_ns),
+        ("memtable-insert", t.memtable_insert_ns),
+        ("delay-sleep", t.delay_sleep_ns),
+        ("stop-wait", t.stop_wait_ns),
+    ] {
+        table.row(vec![name.into(), f(ms(ns), 3), f(pct(ns), 1)]);
+    }
+    let unattributed = total.saturating_sub(t.accounted_ns());
+    table.row(vec![
+        "unattributed".into(),
+        f(ms(unattributed), 3),
+        f(pct(unattributed), 1),
+    ]);
+    table.row(vec!["total-observed".into(), f(ms(total), 3), f(100.0, 1)]);
+    table.row(vec![
+        "ops".into(),
+        t.ops.to_string(),
+        format!("coverage={:.3}", t.coverage()),
+    ]);
+    table
+}
+
+/// Builds the Fig. 6/7-style stall timeline from the controller-transition
+/// event log: one row per transition with the virtual time, the level moved
+/// to (and from), the trigger cause, the time spent at the previous level,
+/// and the LSM shape (L0 files, memtables, adaptive rate) at the moment of
+/// the transition.
+pub fn stall_timeline_table(title: &str, events: &[StallEvent]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "t_s",
+            "level",
+            "prev_level",
+            "cause",
+            "prev_level_ms",
+            "l0_files",
+            "memtables",
+            "rate_mb_s",
+        ],
+    );
+    for ev in events {
+        table.row(vec![
+            f(ev.at as f64 / 1e9, 3),
+            ev.level.name().into(),
+            ev.prev_level.name().into(),
+            ev.cause.to_string(),
+            f(ms(ev.duration), 3),
+            ev.l0_files.to_string(),
+            ev.memtables.to_string(),
+            f(ev.rate as f64 / (1 << 20) as f64, 2),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +180,87 @@ mod tests {
         assert!(s.contains("Fig X"));
         assert!(s.contains("sata-flash"));
         assert!(s.contains("408.1"));
+    }
+
+    #[test]
+    fn stall_breakdown_rows_attribute_write_time() {
+        let t = StallTotals {
+            ops: 4,
+            total_write_ns: 1_000_000,
+            queue_wait_ns: 400_000,
+            wal_append_ns: 100_000,
+            memtable_insert_ns: 100_000,
+            delay_sleep_ns: 200_000,
+            stop_wait_ns: 100_000,
+            events_pushed: 0,
+            events_dropped: 0,
+        };
+        let table = stall_breakdown_table("breakdown", &t);
+        // 5 components + unattributed + total + ops summary.
+        assert_eq!(table.rows.len(), 8);
+        let row = |name: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .clone()
+        };
+        assert_eq!(row("queue-wait")[2], "40.0");
+        assert_eq!(row("delay-sleep")[2], "20.0");
+        assert_eq!(row("unattributed")[1], "0.100"); // 100 µs unexplained
+        assert_eq!(row("ops")[1], "4");
+        assert!(row("ops")[2].starts_with("coverage=0.9"));
+    }
+
+    #[test]
+    fn stall_breakdown_handles_empty_totals() {
+        let table = stall_breakdown_table("empty", &StallTotals::default());
+        assert!(table.rows.iter().all(|r| r[2] != "NaN"));
+    }
+
+    #[test]
+    fn stall_timeline_rows_follow_events() {
+        use xlsm_engine::controller::StallLevel;
+        use xlsm_engine::StallCause;
+        let events = vec![
+            StallEvent {
+                at: 1_500_000_000,
+                cause: StallCause::L0Slowdown,
+                level: StallLevel::Delay,
+                prev_level: StallLevel::Clear,
+                duration: 250_000_000,
+                l0_files: 21,
+                memtables: 1,
+                rate: 16 << 20,
+            },
+            StallEvent {
+                at: 2_000_000_000,
+                cause: StallCause::Cleared,
+                level: StallLevel::Clear,
+                prev_level: StallLevel::Delay,
+                duration: 500_000_000,
+                l0_files: 3,
+                memtables: 1,
+                rate: 16 << 20,
+            },
+        ];
+        let table = stall_timeline_table("timeline", &events);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(
+            table.rows[0],
+            vec![
+                "1.500",
+                "delay",
+                "clear",
+                "l0-slowdown",
+                "250.000",
+                "21",
+                "1",
+                "16.00"
+            ]
+        );
+        assert_eq!(table.rows[1][3], "cleared");
     }
 
     #[test]

@@ -130,7 +130,8 @@ impl SimDevice {
         // GC relocations are internal random traffic: partial-stripe pace.
         let gc_page = self.profile.prog_lat_ns / self.profile.drain_ways.max(1);
         let media_ns = host_pages as u64 * per_page
-            + gc.moved_pages * (self.profile.read_lat_ns / self.profile.drain_ways.max(1) + gc_page)
+            + gc.moved_pages
+                * (self.profile.read_lat_ns / self.profile.drain_ways.max(1) + gc_page)
             + gc.erases * self.profile.erase_lat_ns / self.profile.drain_ways.max(1);
         let capacity_ns = self.profile.write_buffer_pages
             * (self.profile.prog_lat_ns / self.profile.drain_ways.max(1));
@@ -195,7 +196,8 @@ impl Device for SimDevice {
             let service = self.profile.prog_lat_ns + bus;
             xlsm_sim::sleep_nanos(service);
             self.channels.release(1);
-            self.stats.add(&self.stats.write_service_ns, queued + service);
+            self.stats
+                .add(&self.stats.write_service_ns, queued + service);
         }
         self.stats.add(&self.stats.writes, 1);
         self.stats.add(&self.stats.pages_written, pages as u64);
@@ -291,9 +293,7 @@ mod tests {
             let mut handles = Vec::new();
             for i in 0..4 {
                 let dev = Arc::clone(&dev);
-                handles.push(xlsm_sim::spawn(&format!("r{i}"), move || {
-                    dev.read(i, 1)
-                }));
+                handles.push(xlsm_sim::spawn(&format!("r{i}"), move || dev.read(i, 1)));
             }
             for h in handles {
                 h.join();
@@ -389,7 +389,11 @@ mod tests {
                 dev.write(rng.next_below(p.capacity_pages), 1);
             }
             let s = dev.stats();
-            assert!(s.write_amp > 1.3, "expected GC amplification, got {}", s.write_amp);
+            assert!(
+                s.write_amp > 1.3,
+                "expected GC amplification, got {}",
+                s.write_amp
+            );
             assert!(s.erases > 0);
         });
     }
@@ -466,10 +470,7 @@ mod tests {
             let dev = SimDevice::new(p.clone());
             dev.read(0, 256); // 1 MiB compaction-style read
             let t = xlsm_sim::now_nanos();
-            assert_eq!(
-                t,
-                p.read_lat_ns + p.bus_fixed_ns + 256 * p.bus_ns_per_page
-            );
+            assert_eq!(t, p.read_lat_ns + p.bus_fixed_ns + 256 * p.bus_ns_per_page);
         });
     }
 
@@ -542,7 +543,11 @@ mod calib {
                         let mut ops = 0u64;
                         while xlsm_sim::now_nanos() < run_ns {
                             let lpn = rng.next_below(span);
-                            if ops.is_multiple_of(2) { dev.read(lpn, 1); } else { dev.write(lpn, 1); }
+                            if ops.is_multiple_of(2) {
+                                dev.read(lpn, 1);
+                            } else {
+                                dev.write(lpn, 1);
+                            }
                             ops += 1;
                         }
                         ops
@@ -550,12 +555,21 @@ mod calib {
                 }
                 let total: u64 = handles.into_iter().map(|h| h.join()).sum();
                 let s = dev.stats();
-                eprintln!("  amp={:.2} stall_ms={} mean_read_us={} mean_write_us={}",
-                    s.write_amp, s.write_stall_ns/1_000_000, s.mean_read_ns()/1000, s.mean_write_ns()/1000);
+                eprintln!(
+                    "  amp={:.2} stall_ms={} mean_read_us={} mean_write_us={}",
+                    s.write_amp,
+                    s.write_stall_ns / 1_000_000,
+                    s.mean_read_ns() / 1000,
+                    s.mean_write_ns() / 1000
+                );
                 total as f64 / (run_ns as f64 / 1e9) / 1e3
             })
         }
-        for p in [profiles::intel_530_sata(), profiles::intel_750_pcie(), profiles::optane_900p()] {
+        for p in [
+            profiles::intel_530_sata(),
+            profiles::intel_750_pcie(),
+            profiles::optane_900p(),
+        ] {
             let name = p.name;
             let k = mixed_kops(p, false);
             eprintln!("{name}: {k:.1} kop/s");

@@ -122,8 +122,8 @@ pub fn intel_530_sata() -> DeviceProfile {
         overprovision: 0.07,
         write_buffer_pages: 2048, // 8 MiB DRAM buffer
         buf_insert_ns: 4_000,
-        drain_ways: 9,       // sustained 4 KiB random ≈ 36 MB/s
-        drain_ways_seq: 48,  // sustained sequential ≈ 200 MB/s
+        drain_ways: 9,          // sustained 4 KiB random ≈ 36 MB/s
+        drain_ways_seq: 48,     // sustained sequential ≈ 200 MB/s
         bus_ns_per_page: 7_400, // ~550 MB/s SATA III
         bus_fixed_ns: 20_000,   // AHCI/SATA command overhead
     }
@@ -146,8 +146,8 @@ pub fn intel_750_pcie() -> DeviceProfile {
         overprovision: 0.20,
         write_buffer_pages: 8192, // 32 MiB DRAM buffer
         buf_insert_ns: 3_000,
-        drain_ways: 64,       // sustained 4 KiB random ≈ 280 MB/s
-        drain_ways_seq: 220,  // sustained sequential ≈ 900 MB/s
+        drain_ways: 64,         // sustained 4 KiB random ≈ 280 MB/s
+        drain_ways_seq: 220,    // sustained sequential ≈ 900 MB/s
         bus_ns_per_page: 1_400, // ~2.9 GB/s PCIe 3.0 x4
         bus_fixed_ns: 3_000,    // NVMe command overhead
     }

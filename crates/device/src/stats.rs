@@ -62,20 +62,16 @@ pub struct DeviceSnapshot {
 impl DeviceSnapshot {
     /// Mean read latency (queue + service) in nanoseconds, or 0 if no reads.
     pub fn mean_read_ns(&self) -> u64 {
-        if self.reads == 0 {
-            0
-        } else {
-            (self.read_queue_ns + self.read_service_ns) / self.reads
-        }
+        (self.read_queue_ns + self.read_service_ns)
+            .checked_div(self.reads)
+            .unwrap_or(0)
     }
 
     /// Mean write latency (service + stall) in nanoseconds, or 0 if none.
     pub fn mean_write_ns(&self) -> u64 {
-        if self.writes == 0 {
-            0
-        } else {
-            (self.write_service_ns + self.write_stall_ns) / self.writes
-        }
+        (self.write_service_ns + self.write_stall_ns)
+            .checked_div(self.writes)
+            .unwrap_or(0)
     }
 
     /// Difference of two snapshots (for interval measurements).

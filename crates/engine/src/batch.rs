@@ -129,11 +129,9 @@ impl WriteBatch {
     ///
     /// [`DbError::Corruption`] if the payload is malformed.
     pub fn apply_to(&self, mem: &MemTable) -> DbResult<()> {
-        let mut seq = self.sequence();
-        for op in self.iter() {
+        for (seq, op) in (self.sequence()..).zip(self.iter()) {
             let (t, key, value) = op?;
             mem.add(seq, t, key, value);
-            seq += 1;
         }
         Ok(())
     }

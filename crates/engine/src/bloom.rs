@@ -106,7 +106,9 @@ mod tests {
 
     #[test]
     fn no_false_negatives() {
-        let keys: Vec<Vec<u8>> = (0..500u32).map(|i| format!("key{i:05}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..500u32)
+            .map(|i| format!("key{i:05}").into_bytes())
+            .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let f = BloomFilter::new(10).build(&refs);
         for k in &keys {
@@ -116,7 +118,9 @@ mod tests {
 
     #[test]
     fn false_positive_rate_reasonable() {
-        let keys: Vec<Vec<u8>> = (0..2000u32).map(|i| format!("in{i:06}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..2000u32)
+            .map(|i| format!("in{i:06}").into_bytes())
+            .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let f = BloomFilter::new(10).build(&refs);
         let mut fp = 0;

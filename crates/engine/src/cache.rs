@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn eviction_respects_capacity() {
         let c = BlockCache::new(SHARDS * 4096); // 4096 per shard
-        // Insert many blocks mapping to assorted shards.
+                                                // Insert many blocks mapping to assorted shards.
         for i in 0..512u64 {
             c.insert((i, i * 4096), block(1024));
         }

@@ -167,6 +167,7 @@ pub fn pick_compaction(
 ///
 /// Filesystem or corruption errors abort the compaction; outputs written so
 /// far are left for the caller's obsolete-file purge.
+#[allow(clippy::too_many_arguments)]
 pub fn run_compaction(
     task: &CompactionTask,
     fs: &Arc<SimFs>,
@@ -178,7 +179,10 @@ pub fn run_compaction(
     min_snapshot: SequenceNumber,
 ) -> DbResult<VersionEdit> {
     let mut edit = VersionEdit::default();
-    for (lvl, files) in [(task.level, &task.inputs), (task.output_level, &task.inputs_next)] {
+    for (lvl, files) in [
+        (task.level, &task.inputs),
+        (task.output_level, &task.inputs_next),
+    ] {
         for f in files {
             edit.deleted.push((lvl, f.number));
         }
@@ -339,7 +343,11 @@ mod tests {
         let opts = DbOptions::default();
         let v = version_with(
             (1..=4).map(|i| meta(i, b"c", b"m", 100)).collect(),
-            vec![meta(10, b"a", b"d", 100), meta(11, b"k", b"p", 100), meta(12, b"x", b"z", 100)],
+            vec![
+                meta(10, b"a", b"d", 100),
+                meta(11, b"k", b"p", 100),
+                meta(12, b"x", b"z", 100),
+            ],
         );
         let mut cursors = CompactionCursors::new(7);
         let t = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();

@@ -16,6 +16,7 @@
 //! policy (see `xlsm-core`) without touching this mechanism.
 
 use crate::options::DbOptions;
+use crate::stall::{StallAccounting, StallCause, StallEvent};
 use std::fmt;
 use std::sync::Arc;
 use xlsm_sim::sync::WaitSet;
@@ -35,7 +36,10 @@ pub const MIN_RATE: u64 = 1 << 20;
 pub struct StallSignals {
     /// Current number of Level-0 files.
     pub l0_files: usize,
-    /// Memtables (mutable + immutable).
+    /// Memtables counted against `max_write_buffer_number`: the immutables
+    /// plus the mutable one once it is full (switching it would then exceed
+    /// the budget). Writes stop when this *reaches* the configured maximum,
+    /// matching RocksDB's unflushed-memtable stop condition.
     pub memtables: usize,
     /// Estimated bytes awaiting compaction (Algorithm 1's `Esti_Bytes`).
     pub pending_compaction_bytes: u64,
@@ -61,6 +65,18 @@ pub enum StallLevel {
     Stop,
 }
 
+impl StallLevel {
+    /// Short label for reports and stall timelines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallLevel::Clear => "clear",
+            StallLevel::GentleDelay { .. } => "gentle-delay",
+            StallLevel::Delay => "delay",
+            StallLevel::Stop => "stop",
+        }
+    }
+}
+
 /// Chooses a [`StallLevel`] from the signals. Implementations must be cheap
 /// and non-blocking.
 pub trait ThrottlePolicy: Send + Sync {
@@ -82,7 +98,7 @@ pub struct OriginalThrottlePolicy;
 
 impl ThrottlePolicy for OriginalThrottlePolicy {
     fn evaluate(&self, sig: &StallSignals, opts: &DbOptions) -> StallLevel {
-        if sig.memtables > opts.max_write_buffer_number {
+        if sig.memtables >= opts.max_write_buffer_number {
             return StallLevel::Stop;
         }
         if sig.l0_files >= opts.level0_stop_writes_trigger {
@@ -107,7 +123,7 @@ impl ThrottlePolicy for NoThrottlePolicy {
     fn evaluate(&self, sig: &StallSignals, opts: &DbOptions) -> StallLevel {
         // Memtable stop cannot be disabled: the write path has nowhere to
         // put data without a mutable memtable.
-        if sig.memtables > opts.max_write_buffer_number {
+        if sig.memtables >= opts.max_write_buffer_number {
             StallLevel::Stop
         } else {
             StallLevel::Clear
@@ -126,6 +142,10 @@ struct CtlState {
     /// Reservation timeline for the smooth (stage-1) pacer.
     gentle_next: Nanos,
     prev_compacted: u64,
+    /// When the current level was entered (for event durations).
+    level_since: Nanos,
+    /// Transition sink; attached by the database after open.
+    sink: Option<Arc<StallAccounting>>,
 }
 
 /// Snapshot of controller state, for analysis and figures.
@@ -168,9 +188,17 @@ impl WriteController {
                 last_refill: 0,
                 gentle_next: 0,
                 prev_compacted: 0,
+                level_since: 0,
+                sink: None,
             }),
             stopped: WaitSet::new("write-stopped"),
         }
+    }
+
+    /// Attaches the stall registry that receives a [`StallEvent`] on every
+    /// level transition (and on rate adaptations while delayed).
+    pub fn attach_accounting(&self, sink: Arc<StallAccounting>) {
+        self.state.lock().sink = Some(sink);
     }
 
     /// Re-evaluates stall conditions; called whenever LSM shape changes
@@ -180,10 +208,14 @@ impl WriteController {
     pub fn update(&self, sig: &StallSignals, opts: &DbOptions) -> StallLevel {
         let new_level = self.policy.evaluate(sig, opts);
         let mut wake = false;
+        let mut event = None;
         {
             let mut st = self.state.lock();
-            let was_delay = matches!(
-                st.level,
+            let prev_level = st.level;
+            let prev_rate = st.rate;
+            let was_delay = matches!(st.level, StallLevel::Delay | StallLevel::GentleDelay { .. });
+            let now_delay = matches!(
+                new_level,
                 StallLevel::Delay | StallLevel::GentleDelay { .. }
             );
             match new_level {
@@ -204,6 +236,10 @@ impl WriteController {
                         }
                     } else {
                         st.rate = self.init_rate;
+                        // A fresh delay episode starts with an empty token
+                        // bucket: credit must not carry over from the
+                        // unthrottled period before it.
+                        st.last_refill = xlsm_sim::now_nanos();
                     }
                     let floor = match new_level {
                         StallLevel::GentleDelay { min_rate } => min_rate.max(MIN_RATE),
@@ -218,6 +254,33 @@ impl WriteController {
             }
             st.prev_compacted = sig.compacted_bytes;
             st.level = new_level;
+            if let Some(sink) = st.sink.clone() {
+                let level_changed = prev_level != new_level;
+                // Rate adaptations while delayed are transitions too: they
+                // are what the paper's Fig. 6 rate timeline plots.
+                if level_changed || (now_delay && st.rate != prev_rate) {
+                    let now = xlsm_sim::now_nanos();
+                    event = Some((
+                        sink,
+                        StallEvent {
+                            at: now,
+                            cause: cause_of(new_level, sig, opts),
+                            level: new_level,
+                            prev_level,
+                            duration: now.saturating_sub(st.level_since),
+                            l0_files: sig.l0_files,
+                            memtables: sig.memtables,
+                            rate: st.rate,
+                        },
+                    ));
+                    if level_changed {
+                        st.level_since = now;
+                    }
+                }
+            }
+        }
+        if let Some((sink, ev)) = event {
+            sink.record_event(ev);
         }
         if wake {
             self.stopped.notify_all();
@@ -278,7 +341,10 @@ impl WriteController {
         let time_slice = now.saturating_sub(st.last_refill);
         let bytes_refilled = (time_slice as u128 * rate as u128 / 1_000_000_000) as u64;
         if bytes_refilled > num_bytes && time_slice > REFILL_INTERVAL_NS {
-            st.last_refill = now;
+            // Free pass: consume only this write's share of the accrued
+            // credit; the surplus stays banked so a burst of writes after a
+            // quiet period is not throttled below `delayed_write_rate`.
+            st.last_refill += (num_bytes as u128 * 1_000_000_000 / rate as u128) as Nanos;
             return 0;
         }
         let single_ref = (REFILL_INTERVAL_NS as u128 * rate as u128 / 1_000_000_000) as u64;
@@ -288,6 +354,21 @@ impl WriteController {
         } else {
             (num_bytes as u128 * 1_000_000_000 / rate as u128) as Nanos
         }
+    }
+}
+
+/// Classifies the dominant reason for `level` given the triggering signals.
+fn cause_of(level: StallLevel, sig: &StallSignals, opts: &DbOptions) -> StallCause {
+    match level {
+        StallLevel::Stop => {
+            if sig.memtables >= opts.max_write_buffer_number {
+                StallCause::MemtableLimit
+            } else {
+                StallCause::L0Stop
+            }
+        }
+        StallLevel::Delay | StallLevel::GentleDelay { .. } => StallCause::L0Slowdown,
+        StallLevel::Clear => StallCause::Cleared,
     }
 }
 
@@ -307,12 +388,15 @@ mod tests {
 
     #[test]
     fn original_policy_thresholds() {
-        let opts = DbOptions::default();
+        let opts = DbOptions::default(); // max_write_buffer_number = 2
         let p = OriginalThrottlePolicy;
-        assert_eq!(p.evaluate(&sig(0, 1, 0), &opts), StallLevel::Clear);
-        assert_eq!(p.evaluate(&sig(19, 2, 0), &opts), StallLevel::Clear);
-        assert_eq!(p.evaluate(&sig(20, 2, 0), &opts), StallLevel::Delay);
-        assert_eq!(p.evaluate(&sig(36, 2, 0), &opts), StallLevel::Stop);
+        assert_eq!(p.evaluate(&sig(0, 0, 0), &opts), StallLevel::Clear);
+        assert_eq!(p.evaluate(&sig(19, 1, 0), &opts), StallLevel::Clear);
+        assert_eq!(p.evaluate(&sig(20, 1, 0), &opts), StallLevel::Delay);
+        assert_eq!(p.evaluate(&sig(36, 1, 0), &opts), StallLevel::Stop);
+        // RocksDB stops when the unflushed memtable count *reaches* the
+        // maximum, not only once it exceeds it.
+        assert_eq!(p.evaluate(&sig(0, 2, 0), &opts), StallLevel::Stop);
         assert_eq!(p.evaluate(&sig(0, 3, 0), &opts), StallLevel::Stop);
     }
 
@@ -323,7 +407,7 @@ mod tests {
             let c = WriteController::new(&opts);
             let sig_p = |pending: u64, compacted: u64| StallSignals {
                 l0_files: 21,
-                memtables: 2,
+                memtables: 1,
                 pending_compaction_bytes: pending,
                 compacted_bytes: compacted,
             };
@@ -343,7 +427,10 @@ mod tests {
                 c.update(&sig_p(100 << 20, (202 + i) << 20), &opts);
             }
             let floor = c.snapshot().delayed_write_rate;
-            assert_eq!(floor, MIN_RATE, "sustained backlog hits the near-stop floor");
+            assert_eq!(
+                floor, MIN_RATE,
+                "sustained backlog hits the near-stop floor"
+            );
         });
     }
 
@@ -355,7 +442,7 @@ mod tests {
                 ..DbOptions::default()
             };
             let c = WriteController::new(&opts);
-            c.update(&sig(20, 2, 0), &opts);
+            c.update(&sig(20, 1, 0), &opts);
             // Small write relative to one refill: exactly one interval.
             let d = c.delay_for_write(1024);
             assert_eq!(d, REFILL_INTERVAL_NS);
@@ -371,16 +458,144 @@ mod tests {
     }
 
     #[test]
+    fn delay_credit_carries_across_free_passes() {
+        // Regression for the free-pass branch discarding surplus credit:
+        // it used to reset `last_refill = now`, so only the FIRST write of
+        // a post-idle burst passed free and the rest were charged a full
+        // refill interval each, throttling the effective rate below the
+        // configured `delayed_write_rate`.
+        Runtime::new().run(|| {
+            let rate = 1u64 << 20; // 1 MiB/s
+            let opts = DbOptions {
+                delayed_write_rate: rate,
+                ..DbOptions::default()
+            };
+            let c = WriteController::new(&opts);
+            c.update(&sig(20, 1, 0), &opts);
+            // Accrue ~100 ms of credit (≈102400 bytes at 1 MiB/s).
+            xlsm_sim::sleep_nanos(100_000_000);
+            let t0 = xlsm_sim::now_nanos();
+            let mut bytes = 0u64;
+            for _ in 0..8 {
+                let nb = 8 << 10; // 64 KiB total, well inside the credit
+                let d = c.delay_for_write(nb);
+                assert_eq!(d, 0, "burst within accrued credit must pass free");
+                xlsm_sim::sleep_nanos(d);
+                bytes += nb;
+            }
+            let elapsed = xlsm_sim::now_nanos() - t0;
+            // Effective throughput of the burst window must be at least the
+            // configured rate (the whole burst drains banked credit).
+            let ideal_ns = bytes * 1_000_000_000 / rate;
+            assert!(
+                elapsed < ideal_ns,
+                "burst should beat the configured rate using banked credit: \
+                 elapsed={elapsed}ns ideal={ideal_ns}ns"
+            );
+            // The credit is bounded: once the bank is drained, pacing
+            // resumes (no unlimited debt-free writing).
+            let mut paid = 0u64;
+            for _ in 0..8 {
+                paid += c.delay_for_write(8 << 10);
+            }
+            assert!(paid > 0, "drained bucket must resume pacing");
+        });
+    }
+
+    #[test]
+    fn fresh_delay_episode_starts_without_credit() {
+        // Entering Delay after a long unthrottled stretch must not grant
+        // phantom credit accrued while the controller was Clear.
+        Runtime::new().run(|| {
+            let opts = DbOptions {
+                delayed_write_rate: 1 << 20,
+                ..DbOptions::default()
+            };
+            let c = WriteController::new(&opts);
+            xlsm_sim::sleep_nanos(10_000_000_000); // 10 s idle while Clear
+            c.update(&sig(20, 1, 0), &opts);
+            let d = c.delay_for_write(1024);
+            assert_eq!(
+                d, REFILL_INTERVAL_NS,
+                "first delayed write of a fresh episode is paced"
+            );
+        });
+    }
+
+    #[test]
+    fn transitions_emit_stall_events() {
+        Runtime::new().run(|| {
+            use crate::stall::{StallAccounting, StallCause};
+            let opts = DbOptions::default();
+            let c = WriteController::new(&opts);
+            let acc = Arc::new(StallAccounting::default());
+            c.attach_accounting(Arc::clone(&acc));
+            xlsm_sim::sleep_nanos(1_000);
+            c.update(&sig(20, 1, 0), &opts); // Clear -> Delay
+            xlsm_sim::sleep_nanos(2_000);
+            c.update(&sig(36, 1, 0), &opts); // Delay -> Stop (L0)
+            xlsm_sim::sleep_nanos(3_000);
+            c.update(&sig(0, 2, 0), &opts); // Stop (memtable limit)
+            c.update(&sig(0, 0, 0), &opts); // -> Clear
+            c.update(&sig(0, 0, 0), &opts); // no transition: no event
+            let events = acc.drain_events();
+            assert_eq!(events.len(), 3, "one event per transition: {events:?}");
+            assert_eq!(events[0].level, StallLevel::Delay);
+            assert_eq!(events[0].prev_level, StallLevel::Clear);
+            assert_eq!(events[0].cause, StallCause::L0Slowdown);
+            assert_eq!(events[0].at, 1_000);
+            assert_eq!(events[0].duration, 1_000);
+            assert_eq!(events[0].rate, opts.delayed_write_rate);
+            assert_eq!(events[1].level, StallLevel::Stop);
+            assert_eq!(events[1].cause, StallCause::L0Stop);
+            assert_eq!(events[1].duration, 2_000, "time spent in Delay");
+            assert_eq!(events[1].l0_files, 36);
+            // Stop -> Stop with a different trigger is not a level change
+            // and not a rate change, so only the final clear is logged.
+            assert_eq!(events[2].level, StallLevel::Clear);
+            assert_eq!(events[2].cause, StallCause::Cleared);
+            assert_eq!(events[2].duration, 3_000, "time spent in Stop");
+        });
+    }
+
+    #[test]
+    fn rate_adaptation_emits_events_while_delayed() {
+        Runtime::new().run(|| {
+            use crate::stall::StallAccounting;
+            let opts = DbOptions::default();
+            let c = WriteController::new(&opts);
+            let acc = Arc::new(StallAccounting::default());
+            c.attach_accounting(Arc::clone(&acc));
+            let sig_p = |pending: u64, compacted: u64| StallSignals {
+                l0_files: 21,
+                memtables: 1,
+                pending_compaction_bytes: pending,
+                compacted_bytes: compacted,
+            };
+            c.update(&sig_p(100 << 20, 0), &opts); // enter Delay
+            c.update(&sig_p(100 << 20, 1 << 20), &opts); // rate ×0.8
+            let events = acc.drain_events();
+            assert_eq!(events.len(), 2);
+            assert_eq!(events[1].level, StallLevel::Delay);
+            assert_eq!(events[1].prev_level, StallLevel::Delay);
+            assert!(
+                events[1].rate < events[0].rate,
+                "adaptation event carries the new rate: {events:?}"
+            );
+        });
+    }
+
+    #[test]
     fn stop_blocks_until_cleared() {
         Runtime::new().run(|| {
             let opts = DbOptions::default();
             let c = std::sync::Arc::new(WriteController::new(&opts));
-            c.update(&sig(36, 2, 0), &opts);
+            c.update(&sig(36, 1, 0), &opts);
             let c2 = std::sync::Arc::clone(&c);
             let h = xlsm_sim::spawn("writer", move || c2.wait_while_stopped());
             xlsm_sim::sleep_nanos(5_000_000);
             let opts2 = DbOptions::default();
-            c.update(&sig(10, 2, 0), &opts2);
+            c.update(&sig(10, 1, 0), &opts2);
             let waited = h.join();
             assert!(waited >= 5_000_000, "writer should have waited: {waited}");
             assert!(!c.is_stopped());
@@ -395,7 +610,7 @@ mod tests {
             let min_rate = 4 << 20;
             let gentle = StallSignals {
                 l0_files: 20,
-                memtables: 2,
+                memtables: 1,
                 pending_compaction_bytes: 0,
                 compacted_bytes: 0,
             };
@@ -424,7 +639,7 @@ mod tests {
                 cg.update(
                     &StallSignals {
                         l0_files: 20,
-                        memtables: 2,
+                        memtables: 1,
                         pending_compaction_bytes: 1 << 30,
                         compacted_bytes: 1000 * (i + 1),
                     },
@@ -438,7 +653,7 @@ mod tests {
                 c.update(
                     &StallSignals {
                         l0_files: 20,
-                        memtables: 2,
+                        memtables: 1,
                         pending_compaction_bytes: 1 << 30,
                         compacted_bytes: 1000 * (i + 1),
                     },

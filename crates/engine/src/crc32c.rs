@@ -10,7 +10,11 @@ fn make_table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut k = 0;
         while k < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             k += 1;
         }
         table[i] = crc;

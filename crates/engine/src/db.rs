@@ -2,6 +2,7 @@
 //! compaction, shutdown.
 
 use crate::batch::WriteBatch;
+use crate::cache::BlockCache;
 use crate::compaction::{pick_compaction, run_compaction, CompactionCursors};
 use crate::controller::{StallSignals, WriteController};
 use crate::costs;
@@ -10,12 +11,12 @@ use crate::iterator::{DbIterator, InternalIterator, LevelIterator, MergingIterat
 use crate::memtable::MemTable;
 use crate::options::DbOptions;
 use crate::sst::{sst_file_name, TableBuilder, TableReader};
-use crate::stats::{DbStats, Ticker};
+use crate::stall::PreprocessStalls;
+use crate::stats::{DbStats, Metrics, Ticker};
 use crate::types::{self, SequenceNumber, ValueType};
 use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
 use crate::wal::{read_wal, WalWriter};
 use crate::write::{WriteBackend, WriteQueue};
-use crate::cache::BlockCache;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -72,10 +73,7 @@ impl TableCache {
             Arc::clone(&self.block_cache),
         )?);
         Ok(Arc::clone(
-            self.readers
-                .lock()
-                .entry(meta.number)
-                .or_insert(reader),
+            self.readers.lock().entry(meta.number).or_insert(reader),
         ))
     }
 
@@ -194,7 +192,10 @@ impl DbInner {
         };
         StallSignals {
             l0_files: version.num_l0_files(),
-            memtables: imm + 1 + usize::from(mutable_full && imm + 1 >= self.opts.max_write_buffer_number),
+            // Memtables counted against the budget: immutables, plus the
+            // mutable one once full (switching it would add an immutable).
+            // The policy stops at `>= max_write_buffer_number`.
+            memtables: imm + usize::from(mutable_full),
             pending_compaction_bytes: version.pending_compaction_bytes(&self.effective_opts()),
             compacted_bytes: self.stats.ticker(Ticker::FlushBytes)
                 + self.stats.ticker(Ticker::CompactWriteBytes),
@@ -314,12 +315,16 @@ impl DbInner {
         let t0 = xlsm_sim::now_nanos();
         let number = self.versions.new_file_number();
         let file = self.fs.create(&sst_file_name(&self.opts.db_path, number))?;
-        let mut builder = TableBuilder::new(file, self.opts.block_size, self.opts.bloom_bits_per_key);
+        let mut builder =
+            TableBuilder::new(file, self.opts.block_size, self.opts.bloom_bits_per_key);
         let mut iter = mem.iter();
         let mut ok = InternalIterator::seek_to_first(&mut iter)?;
         let mut cpu = 0u64;
         while ok {
-            builder.add(&InternalIterator::key(&iter), &InternalIterator::value(&iter))?;
+            builder.add(
+                &InternalIterator::key(&iter),
+                &InternalIterator::value(&iter),
+            )?;
             cpu += costs::FLUSH_ENTRY_NS;
             if cpu >= 256 * costs::FLUSH_ENTRY_NS {
                 xlsm_sim::sleep_nanos(cpu);
@@ -368,9 +373,7 @@ impl DbInner {
         }
         self.stats.bump(Ticker::FlushCount);
         self.stats.add(Ticker::FlushBytes, props.file_size);
-        self.stats
-            .flush_duration
-            .record(xlsm_sim::now_nanos() - t0);
+        self.stats.flush_duration.record(xlsm_sim::now_nanos() - t0);
         self.purge_old_wals();
         self.update_stall_conditions();
         self.maybe_schedule_compaction();
@@ -455,17 +458,19 @@ fn parse_file_number(path: &str, suffix: &str) -> Option<u64> {
 }
 
 impl WriteBackend for DbBackend {
-    fn preprocess(&self, group_bytes: u64) -> DbResult<()> {
+    fn preprocess(&self, group_bytes: u64) -> DbResult<PreprocessStalls> {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::Relaxed) {
             return Err(DbError::ShuttingDown);
         }
+        let mut stalls = PreprocessStalls::default();
         loop {
             // Stop conditions (Algorithm 1's stop threshold, memtable limit).
             let stopped_ns = inner.controller.wait_while_stopped();
             if stopped_ns > 0 {
                 inner.stats.bump(Ticker::StallStoppedWrites);
                 inner.stats.add(Ticker::StallMicros, stopped_ns / 1_000);
+                stalls.stop_wait_ns += stopped_ns;
             }
             // Delay (Algorithm 1's DELAYWRITE pacing).
             let delay = inner.controller.delay_for_write(group_bytes);
@@ -473,6 +478,7 @@ impl WriteBackend for DbBackend {
                 inner.stats.bump(Ticker::StallDelayedWrites);
                 inner.stats.add(Ticker::StallMicros, delay / 1_000);
                 xlsm_sim::sleep_nanos(delay);
+                stalls.delay_sleep_ns += delay;
             }
             // Room in the mutable memtable.
             let (mutable_full, imm_count) = {
@@ -483,7 +489,7 @@ impl WriteBackend for DbBackend {
                 )
             };
             if !mutable_full {
-                return Ok(());
+                return Ok(stalls);
             }
             if imm_count + 1 >= inner.opts.max_write_buffer_number {
                 // Switching now would exceed the memtable budget: raise the
@@ -629,15 +635,19 @@ impl Db {
             None
         };
         // Old WALs are fully represented in L0 now.
-        let mut edit = VersionEdit::default();
-        edit.log_number = Some(wal_number);
+        let edit = VersionEdit {
+            log_number: Some(wal_number),
+            ..VersionEdit::default()
+        };
         versions.log_and_apply(edit)?;
 
         let (flush_tx, flush_rx) = channel::<()>("flush-jobs");
         let (compact_tx, compact_rx) = channel::<()>("compaction-jobs");
 
+        let controller = WriteController::new(&opts);
+        controller.attach_accounting(Arc::clone(&stats.stall));
         let inner = Arc::new(DbInner {
-            controller: WriteController::new(&opts),
+            controller,
             queue: WriteQueue::new(opts.pipelined_write, opts.max_write_batch_group_size),
             write_buffer_size: AtomicUsize::new(opts.write_buffer_size),
             l0_trigger_override: AtomicUsize::new(0),
@@ -720,10 +730,7 @@ impl Db {
         let backend = DbBackend {
             inner: Arc::clone(&self.inner),
         };
-        let r = self
-            .inner
-            .queue
-            .submit(batch, &backend, &self.inner.stats);
+        let r = self.inner.queue.submit(batch, &backend, &self.inner.stats);
         self.inner
             .stats
             .write_latency
@@ -933,7 +940,12 @@ impl Db {
     /// (test/diagnostic helper).
     pub fn wait_for_compactions(&self) {
         loop {
-            let score = self.inner.versions.current().compaction_score(&self.inner.opts).1;
+            let score = self
+                .inner
+                .versions
+                .current()
+                .compaction_score(&self.inner.opts)
+                .1;
             let busy = !self.inner.in_compaction.lock().is_empty()
                 || self.inner.compact_queued.load(Ordering::Relaxed) > 0;
             if score < 1.0 && !busy {
@@ -952,6 +964,36 @@ impl Db {
     /// Write-controller state (stall level, current delayed write rate).
     pub fn controller_snapshot(&self) -> crate::controller::ControllerSnapshot {
         self.inner.controller.snapshot()
+    }
+
+    /// One cheap cross-layer snapshot: tickers, latency histograms, the
+    /// write-stall breakdown totals, the controller-transition log since
+    /// the previous call (draining), controller state, and device-side
+    /// queue/GC accounting.
+    pub fn metrics(&self) -> Metrics {
+        let stats = &self.inner.stats;
+        let data_dev = self.inner.fs.device();
+        let wal_dev = self.inner.wal_fs.device();
+        let wal_device = if Arc::ptr_eq(data_dev, wal_dev) {
+            None
+        } else {
+            Some(xlsm_device::Device::stats(&**wal_dev))
+        };
+        Metrics {
+            tickers: stats.ticker_snapshot(),
+            get_latency: stats.get_latency.summary(),
+            write_latency: stats.write_latency.summary(),
+            write_queue_wait: stats.write_queue_wait.summary(),
+            wal_append: stats.wal_append.summary(),
+            flush_duration: stats.flush_duration.summary(),
+            compaction_duration: stats.compaction_duration.summary(),
+            avg_waiting_writers: stats.avg_waiting_writers(),
+            stall: stats.stall.snapshot(),
+            stall_events: stats.stall.drain_events(),
+            controller: self.inner.controller.snapshot(),
+            device: xlsm_device::Device::stats(&**data_dev),
+            wal_device,
+        }
     }
 
     /// Point-in-time LSM shape.
@@ -1149,6 +1191,7 @@ impl DbScanner {
     /// # Errors
     ///
     /// Read failures.
+    #[allow(clippy::should_implement_trait)] // fallible cursor, not an Iterator
     pub fn next(&mut self) -> DbResult<bool> {
         self.iter.next()
     }
@@ -1200,9 +1243,10 @@ impl Drop for Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::controller::StallLevel;
     use xlsm_device::{profiles, SimDevice};
-    use xlsm_simfs::FsOptions;
     use xlsm_sim::Runtime;
+    use xlsm_simfs::FsOptions;
 
     fn small_opts() -> DbOptions {
         DbOptions {
@@ -1245,7 +1289,8 @@ mod tests {
         Runtime::new().run(|| {
             let (db, _fs) = open_db(small_opts());
             for i in 0..100u32 {
-                db.put(format!("key{i:04}").as_bytes(), &[b'v'; 100]).unwrap();
+                db.put(format!("key{i:04}").as_bytes(), &[b'v'; 100])
+                    .unwrap();
             }
             db.flush().unwrap();
             assert!(db.num_l0_files() >= 1);
@@ -1269,7 +1314,8 @@ mod tests {
             // at least one compaction into L1.
             let value = vec![b'x'; 512];
             for i in 0..8000u32 {
-                db.put(format!("key{:06}", i % 2000).as_bytes(), &value).unwrap();
+                db.put(format!("key{:06}", i % 2000).as_bytes(), &value)
+                    .unwrap();
             }
             db.flush().unwrap();
             db.wait_for_compactions();
@@ -1346,7 +1392,8 @@ mod tests {
         Runtime::new().run(|| {
             let (db, _fs) = open_db(small_opts());
             for i in 0..300u32 {
-                db.put(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                db.put(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
             }
             db.flush().unwrap();
             // Overwrite some in the new memtable, delete others.
@@ -1482,6 +1529,98 @@ mod tests {
     }
 
     #[test]
+    fn stall_breakdown_reconciles_with_write_latency() {
+        // The tentpole's self-check: under a throttle-prone workload, the
+        // summed per-op components (queue wait + WAL + memtable + delay +
+        // stop) must explain the observed end-to-end write latency to
+        // within 10%. The unattributed remainder is the fixed per-write
+        // setup cost plus memtable-switch bookkeeping.
+        Runtime::new().run(|| {
+            let opts = DbOptions {
+                write_buffer_size: 64 << 10,
+                target_file_size_base: 64 << 10,
+                level0_file_num_compaction_trigger: 2,
+                level0_slowdown_writes_trigger: 3,
+                level0_stop_writes_trigger: 8,
+                max_background_compactions: 1,
+                ..DbOptions::default()
+            };
+            let fs = SimFs::new(
+                SimDevice::shared(profiles::intel_530_sata()),
+                FsOptions::default(),
+            );
+            let db = Db::open(Arc::clone(&fs), opts).unwrap();
+            let value = vec![b'z'; 1024];
+            for i in 0..1500u32 {
+                db.put(format!("k{i:06}").as_bytes(), &value).unwrap();
+            }
+            let m = db.metrics();
+            assert_eq!(m.stall.ops, 1500);
+            assert!(
+                m.stall.delay_sleep_ns > 0,
+                "workload must actually throttle: {:?}",
+                m.stall
+            );
+            let coverage = m.stall_coverage();
+            assert!(
+                (coverage - 1.0).abs() <= 0.10,
+                "breakdown must reconcile with observed latency within 10%: \
+                 coverage={coverage:.4} totals={:?}",
+                m.stall
+            );
+            // The event log saw the controller move.
+            assert!(
+                m.stall_events.iter().any(|e| e.level != StallLevel::Clear),
+                "expected throttling transitions in the event log"
+            );
+            // Device-side time is threaded into the same snapshot.
+            assert!(m.device.writes > 0);
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            db.close();
+        });
+    }
+
+    #[test]
+    fn metrics_drain_stall_events_once() {
+        Runtime::new().run(|| {
+            let fs = SimFs::new(
+                SimDevice::shared(profiles::intel_530_sata()),
+                FsOptions::default(),
+            );
+            let opts = DbOptions {
+                write_buffer_size: 64 << 10,
+                target_file_size_base: 64 << 10,
+                level0_file_num_compaction_trigger: 2,
+                level0_slowdown_writes_trigger: 3,
+                level0_stop_writes_trigger: 8,
+                ..DbOptions::default()
+            };
+            let db = Db::open(Arc::clone(&fs), opts).unwrap();
+            let value = vec![b'q'; 1024];
+            for i in 0..600u32 {
+                db.put(format!("k{i:06}").as_bytes(), &value).unwrap();
+            }
+            let first = db.metrics();
+            assert!(
+                !first.stall_events.is_empty(),
+                "throttled run must log events"
+            );
+            let second = db.metrics();
+            assert!(
+                second.stall_events.is_empty(),
+                "drained events must not repeat"
+            );
+            assert_eq!(second.stall.events_pushed, first.stall.events_pushed);
+            assert_eq!(second.tickers.get(Ticker::Puts), 600);
+            assert!(second.wal_device.is_none(), "shared device: no WAL split");
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            db.close();
+        });
+    }
+
+    #[test]
     fn batched_writes_are_atomic() {
         Runtime::new().run(|| {
             let (db, _fs) = open_db(small_opts());
@@ -1506,7 +1645,15 @@ mod tests {
             db.flush().unwrap();
             let _ = db.get(b"k0001").unwrap();
             let report = db.stats_report();
-            for needle in ["ops:", "latency us:", "shape:", "flush:", "stalls:", "caches:", "write groups:"] {
+            for needle in [
+                "ops:",
+                "latency us:",
+                "shape:",
+                "flush:",
+                "stalls:",
+                "caches:",
+                "write groups:",
+            ] {
                 assert!(report.contains(needle), "missing {needle} in:\n{report}");
             }
             db.close();
@@ -1582,7 +1729,8 @@ mod tests {
         Runtime::new().run(|| {
             let (db, _fs) = open_db(small_opts());
             for i in 0..400u32 {
-                db.put(format!("k{i:05}").as_bytes(), &vec![b'v'; 256]).unwrap();
+                db.put(format!("k{i:05}").as_bytes(), &vec![b'v'; 256])
+                    .unwrap();
             }
             db.flush().unwrap();
             for i in 0..400u32 {

@@ -74,12 +74,10 @@ impl Histogram {
 
     /// Mean of recorded values (0 when empty).
     pub fn mean(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum.load(Ordering::Relaxed) / n
-        }
+        self.sum
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
     }
 
     /// Maximum recorded value.

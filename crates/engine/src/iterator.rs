@@ -376,6 +376,7 @@ impl DbIterator {
     /// # Errors
     ///
     /// Underlying read failures.
+    #[allow(clippy::should_implement_trait)] // fallible cursor, not an Iterator
     pub fn next(&mut self) -> DbResult<bool> {
         if let Some((uk, _)) = self.entry.take() {
             self.resolve_forward(Some(uk))?;
@@ -415,8 +416,14 @@ mod tests {
 
     #[test]
     fn merge_two_sources_in_order() {
-        let a = mem_iter(&[(b"a", 1, ValueType::Value, b"1"), (b"c", 3, ValueType::Value, b"3")]);
-        let b = mem_iter(&[(b"b", 2, ValueType::Value, b"2"), (b"d", 4, ValueType::Value, b"4")]);
+        let a = mem_iter(&[
+            (b"a", 1, ValueType::Value, b"1"),
+            (b"c", 3, ValueType::Value, b"3"),
+        ]);
+        let b = mem_iter(&[
+            (b"b", 2, ValueType::Value, b"2"),
+            (b"d", 4, ValueType::Value, b"4"),
+        ]);
         let mut m = MergingIterator::new(vec![a, b]);
         assert!(m.seek_to_first().unwrap());
         let mut keys = Vec::new();
@@ -424,7 +431,10 @@ mod tests {
             keys.push(types::user_key(&m.key()).to_vec());
             m.next().unwrap();
         }
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     #[test]
@@ -442,10 +452,15 @@ mod tests {
 
     #[test]
     fn merge_seek() {
-        let a = mem_iter(&[(b"a", 1, ValueType::Value, b""), (b"e", 2, ValueType::Value, b"")]);
+        let a = mem_iter(&[
+            (b"a", 1, ValueType::Value, b""),
+            (b"e", 2, ValueType::Value, b""),
+        ]);
         let b = mem_iter(&[(b"c", 3, ValueType::Value, b"")]);
         let mut m = MergingIterator::new(vec![a, b]);
-        assert!(m.seek(&make_internal_key(b"b", u64::MAX >> 8, ValueType::Value)).unwrap());
+        assert!(m
+            .seek(&make_internal_key(b"b", u64::MAX >> 8, ValueType::Value))
+            .unwrap());
         assert_eq!(types::user_key(&m.key()), b"c");
     }
 

@@ -13,7 +13,10 @@
 //! * the **write controller of Algorithm 1** ([`controller`]) with a
 //!   pluggable [`controller::ThrottlePolicy`];
 //! * the **pipelined write path of Algorithm 2** ([`mod@write`]): one writer
-//!   queue, leader-selected batch groups, optional WAL/memtable pipelining.
+//!   queue, leader-selected batch groups, optional WAL/memtable pipelining;
+//! * **cross-layer stall accounting** ([`stall`]): per-op write-latency
+//!   breakdowns and a controller-transition event log, snapshotted through
+//!   [`Db::metrics`](db::Db::metrics).
 //!
 //! Everything runs on the [`xlsm_sim`] virtual clock against an
 //! [`xlsm_simfs`] filesystem; CPU work is charged from the calibrated
@@ -50,6 +53,7 @@ pub mod iterator;
 pub mod memtable;
 pub mod options;
 pub mod sst;
+pub mod stall;
 pub mod stats;
 pub mod types;
 pub mod version;
@@ -62,5 +66,8 @@ pub use error::{DbError, DbResult};
 pub use histogram::{Histogram, HistogramSummary};
 pub use memtable::MemTable;
 pub use options::DbOptions;
-pub use stats::{DbStats, Ticker};
+pub use stall::{
+    PreprocessStalls, StallAccounting, StallCause, StallEvent, StallTotals, WriteBreakdown,
+};
+pub use stats::{DbStats, Metrics, Ticker, TickerSnapshot};
 pub use types::SequenceNumber;

@@ -101,6 +101,7 @@ impl Core {
             };
         }
         self.nodes.push(Node { key, value, next });
+        #[allow(clippy::needless_range_loop)]
         for l in 0..h {
             match prev[l] {
                 NIL => self.head[l] = idx,
@@ -245,6 +246,7 @@ impl MemTableIter {
     }
 
     /// Advances; returns false when exhausted.
+    #[allow(clippy::should_implement_trait)] // lock-coupled cursor, not an Iterator
     pub fn next(&mut self) -> bool {
         debug_assert!(self.started, "call seek_to_first/seek before next");
         if self.cur == NIL {

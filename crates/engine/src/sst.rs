@@ -130,12 +130,14 @@ pub fn decode_block(data: &[u8]) -> DbResult<Block> {
     let mut last_key: Vec<u8> = Vec::new();
     while off < restarts_off {
         let shared = get_varint64(data, &mut off)
-            .ok_or_else(|| DbError::Corruption("bad shared len".into()))? as usize;
+            .ok_or_else(|| DbError::Corruption("bad shared len".into()))?
+            as usize;
         let non_shared = get_varint64(data, &mut off)
             .ok_or_else(|| DbError::Corruption("bad non-shared len".into()))?
             as usize;
         let vlen = get_varint64(data, &mut off)
-            .ok_or_else(|| DbError::Corruption("bad value len".into()))? as usize;
+            .ok_or_else(|| DbError::Corruption("bad value len".into()))?
+            as usize;
         if off + non_shared + vlen > restarts_off || shared > last_key.len() {
             return Err(DbError::Corruption("block entry out of bounds".into()));
         }
@@ -555,10 +557,9 @@ impl TableIterator {
         }
         if self.readahead {
             let (_, off, size) = self.table.index[i];
-            let in_buf = self
-                .ra_buf
-                .as_ref()
-                .is_some_and(|(start, buf)| off >= *start && off + size <= *start + buf.len() as u64);
+            let in_buf = self.ra_buf.as_ref().is_some_and(|(start, buf)| {
+                off >= *start && off + size <= *start + buf.len() as u64
+            });
             if !in_buf {
                 let want = (size as usize).max(READAHEAD_BYTES);
                 let avail = (self.table.file.len() - off) as usize;
@@ -622,6 +623,7 @@ impl TableIterator {
     /// # Errors
     ///
     /// Block read/decode failures.
+    #[allow(clippy::should_implement_trait)] // fallible cursor, not an Iterator
     pub fn next(&mut self) -> DbResult<bool> {
         let Some(block) = &self.block else {
             return Ok(false);
@@ -643,12 +645,16 @@ impl TableIterator {
 
     /// Current internal key.
     pub fn key(&self) -> Vec<u8> {
-        self.block.as_ref().unwrap().entries[self.entry_idx].0.clone()
+        self.block.as_ref().unwrap().entries[self.entry_idx]
+            .0
+            .clone()
     }
 
     /// Current value.
     pub fn value(&self) -> Vec<u8> {
-        self.block.as_ref().unwrap().entries[self.entry_idx].1.clone()
+        self.block.as_ref().unwrap().entries[self.entry_idx]
+            .1
+            .clone()
     }
 }
 
@@ -657,8 +663,8 @@ mod tests {
     use super::*;
     use crate::types::{make_internal_key, make_lookup_key, ValueType};
     use xlsm_device::{profiles, SimDevice};
-    use xlsm_simfs::{FsOptions, SimFs};
     use xlsm_sim::Runtime;
+    use xlsm_simfs::{FsOptions, SimFs};
 
     fn fs() -> Arc<SimFs> {
         SimFs::new(
@@ -682,8 +688,7 @@ mod tests {
         let props = b.finish().unwrap();
         assert_eq!(props.num_entries, n as u64);
         let cache = BlockCache::new(1 << 20);
-        let reader =
-            TableReader::open(fs.open(name).unwrap(), 1, Arc::clone(&cache)).unwrap();
+        let reader = TableReader::open(fs.open(name).unwrap(), 1, Arc::clone(&cache)).unwrap();
         (Arc::new(reader), cache)
     }
 
@@ -828,7 +833,13 @@ mod tests {
         // Pure block-level test: shared-prefix encoding round-trips.
         let mut b = BlockBuilder::default();
         let keys: Vec<Vec<u8>> = (0..50)
-            .map(|i| make_internal_key(format!("prefix/common/{i:04}").as_bytes(), 1, ValueType::Value))
+            .map(|i| {
+                make_internal_key(
+                    format!("prefix/common/{i:04}").as_bytes(),
+                    1,
+                    ValueType::Value,
+                )
+            })
             .collect();
         for k in &keys {
             b.add(k, b"val");
@@ -850,8 +861,8 @@ mod proptests {
     use crate::types::{make_internal_key, make_lookup_key, ValueType};
     use proptest::prelude::*;
     use xlsm_device::{profiles, SimDevice};
-    use xlsm_simfs::{FsOptions, SimFs};
     use xlsm_sim::Runtime;
+    use xlsm_simfs::{FsOptions, SimFs};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]

@@ -1,8 +1,11 @@
 //! Engine-wide counters, gauges and latency histograms.
 
-use crate::histogram::Histogram;
+use crate::controller::ControllerSnapshot;
+use crate::histogram::{Histogram, HistogramSummary};
+use crate::stall::{StallAccounting, StallEvent, StallTotals};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use xlsm_device::DeviceSnapshot;
 
 /// Monotonic event counters (RocksDB "tickers").
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +58,9 @@ pub struct DbStats {
     pub flush_duration: Histogram,
     /// Compaction job durations.
     pub compaction_duration: Histogram,
+    /// Cross-layer write-stall accounting (per-op breakdowns + the
+    /// controller-transition event log).
+    pub stall: Arc<StallAccounting>,
     /// Currently-waiting writer threads (gauge).
     waiting_writers: AtomicU64,
     /// Accumulated samples of the waiting-writers gauge (sum, n) — sampled
@@ -80,6 +86,7 @@ impl DbStats {
             wal_append: Histogram::new(),
             flush_duration: Histogram::new(),
             compaction_duration: Histogram::new(),
+            stall: Arc::new(StallAccounting::default()),
             waiting_writers: AtomicU64::new(0),
             waiting_sum: AtomicU64::new(0),
             waiting_samples: AtomicU64::new(0),
@@ -140,8 +147,71 @@ impl DbStats {
         self.write_latency.reset();
         self.write_queue_wait.reset();
         self.wal_append.reset();
+        self.stall.reset_window();
         self.waiting_sum.store(0, Ordering::Relaxed);
         self.waiting_samples.store(0, Ordering::Relaxed);
+    }
+
+    /// Copies every ticker at once.
+    pub fn ticker_snapshot(&self) -> TickerSnapshot {
+        TickerSnapshot(std::array::from_fn(|i| {
+            self.tickers[i].load(Ordering::Relaxed)
+        }))
+    }
+}
+
+/// Point-in-time copy of all tickers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TickerSnapshot([u64; TICKER_COUNT]);
+
+impl TickerSnapshot {
+    /// Value of `t` at snapshot time.
+    pub fn get(&self, t: Ticker) -> u64 {
+        self.0[t as usize]
+    }
+}
+
+/// One cheap cross-layer snapshot answering "where did write time go":
+/// engine tickers and histograms, the stall breakdown totals with the
+/// drained controller-transition log, and device-side service/queue/GC
+/// accounting. Produced by `Db::metrics()`.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// All engine tickers.
+    pub tickers: TickerSnapshot,
+    /// Client-visible Get latency.
+    pub get_latency: HistogramSummary,
+    /// Client-visible write (batch commit) latency.
+    pub write_latency: HistogramSummary,
+    /// Queue wait before a write's group committed.
+    pub write_queue_wait: HistogramSummary,
+    /// WAL append durations.
+    pub wal_append: HistogramSummary,
+    /// Flush job durations.
+    pub flush_duration: HistogramSummary,
+    /// Compaction job durations.
+    pub compaction_duration: HistogramSummary,
+    /// Average queued writer threads (Fig. 16 metric).
+    pub avg_waiting_writers: f64,
+    /// Aggregate per-op stall breakdown totals.
+    pub stall: StallTotals,
+    /// Controller transitions since the previous snapshot (draining: each
+    /// event is returned exactly once across successive calls).
+    pub stall_events: Vec<StallEvent>,
+    /// Current controller level and adaptive rate.
+    pub controller: ControllerSnapshot,
+    /// Device-side accounting (queueing, GC, write amplification) for the
+    /// SST device.
+    pub device: DeviceSnapshot,
+    /// Same for the WAL device, when the WAL lives on a separate one.
+    pub wal_device: Option<DeviceSnapshot>,
+}
+
+impl Metrics {
+    /// Fraction of observed end-to-end write time explained by the stall
+    /// breakdown components.
+    pub fn stall_coverage(&self) -> f64 {
+        self.stall.coverage()
     }
 }
 

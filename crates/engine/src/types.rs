@@ -58,7 +58,11 @@ pub fn make_internal_key(user_key: &[u8], seq: SequenceNumber, t: ValueType) -> 
 ///
 /// Panics if `ikey` is shorter than the 8-byte trailer.
 pub fn parse_internal_key(ikey: &[u8]) -> (&[u8], SequenceNumber, ValueType) {
-    assert!(ikey.len() >= 8, "internal key too short: {} bytes", ikey.len());
+    assert!(
+        ikey.len() >= 8,
+        "internal key too short: {} bytes",
+        ikey.len()
+    );
     let split = ikey.len() - 8;
     let tag = u64::from_le_bytes(ikey[split..].try_into().unwrap());
     (

@@ -88,7 +88,10 @@ impl Version {
         debug_assert!(level >= 1);
         let files = &self.levels[level];
         let idx = files.partition_point(|f| user_key(&f.largest) < key);
-        files.get(idx).filter(|f| f.may_contain_user_key(key)).cloned()
+        files
+            .get(idx)
+            .filter(|f| f.may_contain_user_key(key))
+            .cloned()
     }
 
     /// Compaction score per RocksDB's leveled policy: L0 by file count,
@@ -96,8 +99,7 @@ impl Version {
     /// neediest level; a score ≥ 1.0 warrants compaction.
     pub fn compaction_score(&self, opts: &DbOptions) -> (usize, f64) {
         let mut best = (0usize, 0.0f64);
-        let l0_score =
-            self.num_l0_files() as f64 / opts.level0_file_num_compaction_trigger as f64;
+        let l0_score = self.num_l0_files() as f64 / opts.level0_file_num_compaction_trigger as f64;
         if l0_score > best.1 {
             best = (0, l0_score);
         }
@@ -200,8 +202,7 @@ impl VersionEdit {
                     edit.log_number = Some(get_varint64(data, &mut off).ok_or_else(corrupt)?)
                 }
                 TAG_NEXT_FILE => {
-                    edit.next_file_number =
-                        Some(get_varint64(data, &mut off).ok_or_else(corrupt)?)
+                    edit.next_file_number = Some(get_varint64(data, &mut off).ok_or_else(corrupt)?)
                 }
                 TAG_LAST_SEQ => {
                     edit.last_sequence = Some(get_varint64(data, &mut off).ok_or_else(corrupt)?)
@@ -250,7 +251,7 @@ pub fn apply_edit(base: &Version, edit: &VersionEdit) -> Version {
         levels[*level].push(Arc::new(meta.clone()));
     }
     // Restore level ordering invariants.
-    levels[0].sort_by(|a, b| b.number.cmp(&a.number)); // newest first
+    levels[0].sort_by_key(|f| std::cmp::Reverse(f.number)); // newest first
     for level in levels.iter_mut().skip(1) {
         level.sort_by(|a, b| compare_internal(&a.smallest, &b.smallest));
         debug_assert!(
@@ -331,8 +332,8 @@ impl VersionSet {
     pub fn recover(fs: Arc<SimFs>, db_path: &str, opts: &DbOptions) -> DbResult<VersionSet> {
         let cur = fs.open(&current_path(db_path))?;
         let name = cur.read_at(0, cur.len() as usize)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| DbError::Corruption("CURRENT not utf-8".into()))?;
+        let name =
+            String::from_utf8(name).map_err(|_| DbError::Corruption("CURRENT not utf-8".into()))?;
         let mpath = format!("{db_path}/{name}");
         let records = wal::read_wal(&fs, &mpath)?;
         let mut version = Version::empty(opts.num_levels);
@@ -471,8 +472,8 @@ mod tests {
     use super::*;
     use crate::types::{make_internal_key, ValueType};
     use xlsm_device::{profiles, SimDevice};
-    use xlsm_simfs::FsOptions;
     use xlsm_sim::Runtime;
+    use xlsm_simfs::FsOptions;
 
     fn meta(number: u64, lo: &[u8], hi: &[u8]) -> FileMetaData {
         FileMetaData {

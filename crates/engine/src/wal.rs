@@ -74,10 +74,7 @@ impl WalWriter {
         if sync {
             self.file.sync()?;
         } else if self.bytes_per_sync > 0 {
-            let acc = self
-                .bytes_since_flush
-                .fetch_add(written, Ordering::Relaxed)
-                + written;
+            let acc = self.bytes_since_flush.fetch_add(written, Ordering::Relaxed) + written;
             if acc >= self.bytes_per_sync {
                 self.bytes_since_flush.store(0, Ordering::Relaxed);
                 self.file.flush_data()?;
@@ -131,8 +128,8 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use xlsm_device::{profiles, SimDevice};
-    use xlsm_simfs::FsOptions;
     use xlsm_sim::Runtime;
+    use xlsm_simfs::FsOptions;
 
     fn fs() -> Arc<SimFs> {
         SimFs::new(
@@ -150,7 +147,10 @@ mod tests {
             w.append(b"second", false).unwrap();
             w.append(b"third", true).unwrap();
             let recs = read_wal(&fs, &wal_file_name("db", 3)).unwrap();
-            assert_eq!(recs, vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+            assert_eq!(
+                recs,
+                vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]
+            );
         });
     }
 
@@ -170,7 +170,8 @@ mod tests {
             w.append(b"keep-me", false).unwrap();
             // Manually append a half-record.
             let f = fs.open(&wal_file_name("db", 1)).unwrap();
-            f.append(&[0x12, 0x34, 0x56, 0x78, 200, 0, 0, 0, b'x']).unwrap();
+            f.append(&[0x12, 0x34, 0x56, 0x78, 200, 0, 0, 0, b'x'])
+                .unwrap();
             let recs = read_wal(&fs, &wal_file_name("db", 1)).unwrap();
             assert_eq!(recs, vec![b"keep-me".to_vec()]);
         });
@@ -207,6 +208,73 @@ mod tests {
             w.append(b"payload", true).unwrap();
             assert!(xlsm_device::Device::stats(&*dev).writes > 0);
         });
+    }
+
+    #[test]
+    fn torn_tail_midheader_is_dropped() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+            w.append(b"whole", false).unwrap();
+            // Truncation inside the next record's header (only 3 bytes).
+            let f = fs.open(&wal_file_name("db", 1)).unwrap();
+            f.append(&[0xAA, 0xBB, 0xCC]).unwrap();
+            let recs = read_wal(&fs, &wal_file_name("db", 1)).unwrap();
+            assert_eq!(recs, vec![b"whole".to_vec()]);
+        });
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// Crash-recovery contract: a WAL truncated at ANY byte offset
+        /// replays exactly the records that fit wholly before the cut and
+        /// never errors on the torn final record.
+        #[test]
+        fn torn_tail_recovery_returns_complete_prefix(
+            lens in proptest::strategies::collection::vec(0usize..300, 1..10),
+            cut_frac in 0u64..10_001u64,
+        ) {
+            Runtime::new().run(move || {
+                let fs = fs();
+                let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+                let mut payloads = Vec::new();
+                let mut ends = Vec::new(); // record end offsets
+                let mut off = 0u64;
+                for (i, len) in lens.iter().enumerate() {
+                    let payload: Vec<u8> =
+                        (0..*len).map(|j| (i * 31 + j) as u8).collect();
+                    off += w.append(&payload, false).unwrap();
+                    payloads.push(payload);
+                    ends.push(off);
+                }
+                let total = w.size();
+                assert_eq!(off, total);
+                // Cut at an arbitrary offset (scaled so every boundary and
+                // interior byte is reachable), simulating a torn write.
+                let cut = total * cut_frac / 10_000;
+                let prefix = fs
+                    .open(&wal_file_name("db", 1))
+                    .unwrap()
+                    .read_at(0, cut as usize)
+                    .unwrap();
+                let torn = fs.create("db2/000001.log").unwrap();
+                if !prefix.is_empty() {
+                    torn.append(&prefix).unwrap();
+                }
+                drop(torn);
+                let recs = read_wal(&fs, "db2/000001.log")
+                    .expect("torn tail must never be an error");
+                let intact = ends.iter().filter(|e| **e <= cut).count();
+                assert_eq!(
+                    recs,
+                    payloads[..intact].to_vec(),
+                    "cut={cut} of {total} must keep exactly {intact} records"
+                );
+                fs.delete("db2/000001.log").unwrap();
+                fs.delete(&wal_file_name("db", 1)).unwrap();
+            });
+        }
     }
 
     #[test]

@@ -17,20 +17,23 @@
 
 use crate::batch::WriteBatch;
 use crate::error::{DbError, DbResult};
+use crate::stall::{PreprocessStalls, WriteBreakdown};
 use crate::stats::{DbStats, Ticker};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use xlsm_sim::sync::{Semaphore, WaitSet};
+use xlsm_sim::Nanos;
 
 /// Stage callbacks supplied by the database.
 pub trait WriteBackend: Send + Sync {
     /// Stall handling (Algorithm 1) and memtable room-making. Runs once per
-    /// group, before sequence allocation.
+    /// group, before sequence allocation. Returns the controller-induced
+    /// waiting it performed, for the group's stall accounting.
     ///
     /// # Errors
     ///
     /// Shutdown or filesystem failures abort the group.
-    fn preprocess(&self, group_bytes: u64) -> DbResult<()>;
+    fn preprocess(&self, group_bytes: u64) -> DbResult<PreprocessStalls>;
     /// Reserves `count` consecutive sequence numbers; returns the first.
     fn allocate_seq(&self, count: u64) -> u64;
     /// Appends the group's WAL record.
@@ -51,6 +54,8 @@ struct Writer {
     batch: parking_lot::Mutex<Option<WriteBatch>>,
     result: parking_lot::Mutex<Option<DbResult<()>>>,
     wake: WaitSet,
+    /// When this writer joined the queue (for queue-wait attribution).
+    enqueued_at: Nanos,
 }
 
 impl Writer {
@@ -59,6 +64,7 @@ impl Writer {
             batch: parking_lot::Mutex::new(Some(batch)),
             result: parking_lot::Mutex::new(None),
             wake: WaitSet::new("writer"),
+            enqueued_at: xlsm_sim::now_nanos(),
         })
     }
 }
@@ -97,10 +103,7 @@ impl WriteQueue {
     }
 
     fn is_front(&self, w: &Arc<Writer>) -> bool {
-        self.queue
-            .lock()
-            .front()
-            .is_some_and(|f| Arc::ptr_eq(f, w))
+        self.queue.lock().front().is_some_and(|f| Arc::ptr_eq(f, w))
     }
 
     /// Submits `batch` and blocks until it commits (possibly as part of a
@@ -193,17 +196,24 @@ impl WriteQueue {
         backend: &dyn WriteBackend,
         stats: &DbStats,
     ) -> DbResult<()> {
-        if let Err(e) = backend.preprocess(group.byte_size() as u64) {
-            self.pop_group(members, stats);
-            return Err(e);
-        }
+        let t_start = xlsm_sim::now_nanos();
+        let pre = match backend.preprocess(group.byte_size() as u64) {
+            Ok(pre) => pre,
+            Err(e) => {
+                self.pop_group(members, stats);
+                return Err(e);
+            }
+        };
         let seq = backend.allocate_seq(group.count() as u64);
         group.set_sequence(seq);
+        let t_wal = xlsm_sim::now_nanos();
         if let Err(e) = backend.write_wal(&group) {
             self.pop_group(members, stats);
             return Err(e);
         }
-        if self.pipelined {
+        let t_mem = xlsm_sim::now_nanos();
+        let wal_ns = t_mem - t_wal;
+        let r = if self.pipelined {
             // Algorithm 2: acquire the memtable stage while still at the
             // queue head (guarantees group-ordered memtable writes), then
             // hand queue leadership over so the next group's WAL overlaps
@@ -217,7 +227,28 @@ impl WriteQueue {
             let r = backend.write_memtable(&group);
             self.pop_group(members, stats);
             r
+        };
+        if r.is_ok() {
+            let t_done = xlsm_sim::now_nanos();
+            // `memtable_insert_ns` includes the pipeline-stage wait: both
+            // are time the group spent in the memtable stage.
+            let mem_ns = t_done - t_mem;
+            for m in members {
+                let queue_wait = t_start.saturating_sub(m.enqueued_at);
+                stats.write_queue_wait.record(queue_wait);
+                stats.stall.record_op(
+                    t_done.saturating_sub(m.enqueued_at),
+                    &WriteBreakdown {
+                        queue_wait_ns: queue_wait,
+                        wal_append_ns: wal_ns,
+                        memtable_insert_ns: mem_ns,
+                        delay_sleep_ns: pre.delay_sleep_ns,
+                        stop_wait_ns: pre.stop_wait_ns,
+                    },
+                );
+            }
         }
+        r
     }
 }
 
@@ -226,7 +257,7 @@ impl WriteQueue {
 pub struct ClosedBackend;
 
 impl WriteBackend for ClosedBackend {
-    fn preprocess(&self, _group_bytes: u64) -> DbResult<()> {
+    fn preprocess(&self, _group_bytes: u64) -> DbResult<PreprocessStalls> {
         Err(DbError::ShuttingDown)
     }
     fn allocate_seq(&self, _count: u64) -> u64 {
@@ -272,8 +303,8 @@ mod tests {
     }
 
     impl WriteBackend for TestBackend {
-        fn preprocess(&self, _b: u64) -> DbResult<()> {
-            Ok(())
+        fn preprocess(&self, _b: u64) -> DbResult<PreprocessStalls> {
+            Ok(PreprocessStalls::default())
         }
         fn allocate_seq(&self, count: u64) -> u64 {
             self.seq.fetch_add(count, Ordering::Relaxed) + 1
@@ -307,7 +338,8 @@ mod tests {
             let q = WriteQueue::new(false, 1 << 20);
             let be = TestBackend::new(0, 0);
             let stats = DbStats::new();
-            q.submit(batch_with(b"k", b"v"), be.as_ref(), &stats).unwrap();
+            q.submit(batch_with(b"k", b"v"), be.as_ref(), &stats)
+                .unwrap();
             assert_eq!(be.mem.get(b"k", 100), Some(Some(b"v".to_vec())));
             assert_eq!(stats.ticker(Ticker::WriteGroupsLed), 1);
         });
@@ -369,8 +401,12 @@ mod tests {
                 handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
                     // Every writer writes the same key; final value must be
                     // the one with the highest sequence.
-                    q.submit(batch_with(b"shared", format!("{i}").as_bytes()), be.as_ref(), &stats)
-                        .unwrap();
+                    q.submit(
+                        batch_with(b"shared", format!("{i}").as_bytes()),
+                        be.as_ref(),
+                        &stats,
+                    )
+                    .unwrap();
                 }));
             }
             for h in handles {
@@ -425,7 +461,7 @@ mod tests {
         Runtime::new().run(|| {
             struct FailingBackend;
             impl WriteBackend for FailingBackend {
-                fn preprocess(&self, _b: u64) -> DbResult<()> {
+                fn preprocess(&self, _b: u64) -> DbResult<PreprocessStalls> {
                     xlsm_sim::sleep_nanos(20_000); // let followers enqueue
                     Err(DbError::ShuttingDown)
                 }
@@ -461,6 +497,43 @@ mod tests {
     }
 
     #[test]
+    fn breakdowns_reconcile_with_observed_latency() {
+        // With no controller stalls, queue-wait + WAL + memtable must
+        // explain a writer's end-to-end latency exactly.
+        Runtime::new().run(|| {
+            let q = Arc::new(WriteQueue::new(false, 1)); // no grouping
+            let be = TestBackend::new(30_000, 20_000);
+            let stats = Arc::new(DbStats::new());
+            let mut handles = Vec::new();
+            for i in 0..6u32 {
+                let q = Arc::clone(&q);
+                let be = Arc::clone(&be);
+                let stats = Arc::clone(&stats);
+                handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
+                    q.submit(
+                        batch_with(format!("k{i}").as_bytes(), b"v"),
+                        be.as_ref(),
+                        &stats,
+                    )
+                    .unwrap();
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let t = stats.stall.snapshot();
+            assert_eq!(t.ops, 6);
+            assert_eq!(
+                t.accounted_ns(),
+                t.total_write_ns,
+                "breakdown must fully explain observed latency: {t:?}"
+            );
+            assert_eq!(stats.write_queue_wait.count(), 6);
+            assert!(t.queue_wait_ns > 0, "later groups waited in the queue");
+        });
+    }
+
+    #[test]
     fn waiting_writers_gauge_reflects_queue() {
         Runtime::new().run(|| {
             let q = Arc::new(WriteQueue::new(false, 1)); // no grouping
@@ -472,8 +545,12 @@ mod tests {
                 let be = Arc::clone(&be);
                 let stats = Arc::clone(&stats);
                 handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
-                    q.submit(batch_with(format!("k{i}").as_bytes(), b"v"), be.as_ref(), &stats)
-                        .unwrap();
+                    q.submit(
+                        batch_with(format!("k{i}").as_bytes(), b"v"),
+                        be.as_ref(),
+                        &stats,
+                    )
+                    .unwrap();
                 }));
             }
             for h in handles {

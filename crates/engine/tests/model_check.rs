@@ -7,8 +7,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use xlsm_device::{profiles, SimDevice};
 use xlsm_engine::{Db, DbOptions};
-use xlsm_simfs::{FsOptions, SimFs};
 use xlsm_sim::Runtime;
+use xlsm_simfs::{FsOptions, SimFs};
 
 #[derive(Clone, Debug)]
 enum Op {

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use xlsm_device::{profiles, SimDevice};
 use xlsm_engine::controller::NoThrottlePolicy;
 use xlsm_engine::{Db, DbOptions, Ticker};
-use xlsm_simfs::{FsOptions, SimFs};
 use xlsm_sim::Runtime;
+use xlsm_simfs::{FsOptions, SimFs};
 
 fn small_opts() -> DbOptions {
     DbOptions {
@@ -35,7 +35,8 @@ fn snapshot_survives_flush_and_compaction() {
         let snap = db.snapshot();
         // Overwrite and churn enough to force flushes and compactions.
         for round in 0..4u32 {
-            db.put(b"pinned", format!("v{}", round + 2).as_bytes()).unwrap();
+            db.put(b"pinned", format!("v{}", round + 2).as_bytes())
+                .unwrap();
             for i in 0..400u32 {
                 db.put(format!("fill{round}-{i:04}").as_bytes(), &[b'x'; 200])
                     .unwrap();
@@ -120,7 +121,8 @@ fn no_throttle_policy_never_delays() {
         };
         let db = Db::open(fs, opts).unwrap();
         for i in 0..2000u32 {
-            db.put(format!("k{i:05}").as_bytes(), &vec![b'x'; 256]).unwrap();
+            db.put(format!("k{i:05}").as_bytes(), &vec![b'x'; 256])
+                .unwrap();
         }
         assert_eq!(
             db.stats().ticker(Ticker::StallDelayedWrites),
@@ -163,10 +165,7 @@ fn bloom_filters_cut_l0_block_reads() {
             for i in 0..600u32 {
                 // Absent keys *inside* the present key range, so L0 files
                 // cover them and only a bloom can skip the probe.
-                assert_eq!(
-                    db.get(format!("present{i:05}x").as_bytes()).unwrap(),
-                    None
-                );
+                assert_eq!(db.get(format!("present{i:05}x").as_bytes()).unwrap(), None);
             }
             let useful = db.stats().ticker(Ticker::BloomUseful);
             let (_, cache_misses) = db.block_cache_counters();

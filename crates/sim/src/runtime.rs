@@ -454,7 +454,9 @@ pub struct JoinHandle<T> {
 
 impl<T> fmt::Debug for JoinHandle<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("JoinHandle").field("tid", &self.tid).finish()
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish()
     }
 }
 
@@ -551,7 +553,10 @@ fn spawn_inner<T: Send + 'static>(
 
 /// Spawns a named sim thread. It becomes runnable immediately (the spawner
 /// keeps running; no implicit yield).
-pub fn spawn<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+pub fn spawn<T: Send + 'static>(
+    name: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> JoinHandle<T> {
     spawn_inner(name, false, f)
 }
 
@@ -644,10 +649,7 @@ mod tests {
             h1.join();
             h2.join();
             let got = log.lock().clone();
-            assert_eq!(
-                got,
-                vec![('b', 10_000), ('a', 30_000), ('b', 50_000)]
-            );
+            assert_eq!(got, vec![('b', 10_000), ('a', 30_000), ('b', 50_000)]);
         });
     }
 

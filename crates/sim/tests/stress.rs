@@ -85,7 +85,11 @@ fn mpmc_channel_distributes_all_jobs_exactly_once() {
         }
         tx.close();
         let per_worker: Vec<u64> = workers.into_iter().map(|h| h.join()).collect();
-        assert_eq!(per_worker.iter().sum::<u64>(), 1000, "each job exactly once");
+        assert_eq!(
+            per_worker.iter().sum::<u64>(),
+            1000,
+            "each job exactly once"
+        );
         assert_eq!(done.load(Ordering::Relaxed), 1000 * 1001 / 2);
         // Work should be spread, not hoarded by one worker.
         assert!(per_worker.iter().filter(|&&n| n > 0).count() >= 4);

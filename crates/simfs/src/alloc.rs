@@ -46,7 +46,10 @@ impl ExtentAllocator {
             debug_assert!(ps + pl <= start, "double free (prev overlap)");
         }
         if idx < self.free.len() {
-            debug_assert!(start + pages <= self.free[idx].0, "double free (next overlap)");
+            debug_assert!(
+                start + pages <= self.free[idx].0,
+                "double free (next overlap)"
+            );
         }
         let merges_prev = idx > 0 && {
             let (ps, pl) = self.free[idx - 1];

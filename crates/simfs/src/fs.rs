@@ -438,11 +438,7 @@ impl FileHandle {
         let have = self.data.allocated_pages();
         if needed_pages > have {
             let grow = (needed_pages - have).max(fs.opts.alloc_chunk_pages);
-            let start = fs
-                .alloc
-                .lock()
-                .allocate(grow)
-                .ok_or(FsError::DeviceFull)?;
+            let start = fs.alloc.lock().allocate(grow).ok_or(FsError::DeviceFull)?;
             self.data.extents.lock().push((start, grow));
         }
         // Mark the touched pages dirty.
@@ -653,10 +649,7 @@ mod tests {
             let (fs, _) = fixture(64);
             let f = fs.create("x").unwrap();
             f.append(b"abc").unwrap();
-            assert!(matches!(
-                f.read_at(2, 5),
-                Err(FsError::OutOfRange { .. })
-            ));
+            assert!(matches!(f.read_at(2, 5), Err(FsError::OutOfRange { .. })));
         });
     }
 
@@ -772,9 +765,7 @@ mod tests {
         Runtime::new().run(|| {
             // Tiny device: 2 MiB = 512 pages; chunk 256. Two files exhaust
             // it; delete must make room for a third.
-            let dev = SimDevice::shared(
-                profiles::optane_900p().with_capacity_bytes(2 << 20),
-            );
+            let dev = SimDevice::shared(profiles::optane_900p().with_capacity_bytes(2 << 20));
             let fs = SimFs::new(
                 dev as Arc<dyn Device>,
                 FsOptions {
@@ -866,7 +857,10 @@ mod prefetch_tests {
             let reads_before = dev.stats().reads;
             f.prefetch(0, 256 << 10).unwrap();
             let reads_mid = dev.stats().reads;
-            assert_eq!(reads_mid, reads_before, "already-resident pages need no I/O");
+            assert_eq!(
+                reads_mid, reads_before,
+                "already-resident pages need no I/O"
+            );
             // Cold path: new fs over same device style — use a fresh file
             // whose pages we explicitly push out with a tiny cache.
             let fs2 = SimFs::new(

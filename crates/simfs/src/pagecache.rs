@@ -202,7 +202,7 @@ mod tests {
         let mut c = PageCache::new(2);
         c.insert((1, 0), true); // dirty
         c.insert((1, 1), false); // clean
-        // Next insert must evict the clean page, keeping the dirty one.
+                                 // Next insert must evict the clean page, keeping the dirty one.
         let victim = c.insert((1, 2), false);
         assert_eq!(victim, None);
         assert!(c.touch((1, 0)), "dirty page should survive");

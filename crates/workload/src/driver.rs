@@ -180,8 +180,8 @@ mod tests {
     use super::*;
     use xlsm_device::{profiles, SimDevice};
     use xlsm_engine::DbOptions;
-    use xlsm_simfs::{FsOptions, SimFs};
     use xlsm_sim::Runtime;
+    use xlsm_simfs::{FsOptions, SimFs};
 
     fn test_db() -> Arc<Db> {
         let fs = SimFs::new(
@@ -299,8 +299,8 @@ mod zipf_tests {
     use crate::spec::KeyDistribution;
     use xlsm_device::{profiles, SimDevice};
     use xlsm_engine::DbOptions;
-    use xlsm_simfs::{FsOptions, SimFs};
     use xlsm_sim::Runtime;
+    use xlsm_simfs::{FsOptions, SimFs};
 
     #[test]
     fn zipfian_workload_runs_and_skews_hits() {
@@ -325,7 +325,9 @@ mod zipf_tests {
             let (h0, m0) = db.block_cache_counters();
             let zipf = run_workload(
                 &db,
-                &base.clone().with_distribution(KeyDistribution::Zipfian(0.99)),
+                &base
+                    .clone()
+                    .with_distribution(KeyDistribution::Zipfian(0.99)),
             );
             let (h1, m1) = db.block_cache_counters();
             assert!(uniform.reads > 0 && zipf.reads > 0);

@@ -97,8 +97,7 @@ mod tests {
         // a ~15.7× gap. Accept a 12–19× band.
         let (sata, xp) = Runtime::new().run(|| {
             let d = Duration::from_millis(300);
-            let sata =
-                raw_mixed_kops(profiles::intel_530_sata(), 8, 0.125, 0.5, d);
+            let sata = raw_mixed_kops(profiles::intel_530_sata(), 8, 0.125, 0.5, d);
             let xp = raw_mixed_kops(profiles::optane_900p(), 8, 0.125, 0.5, d);
             (sata, xp)
         });

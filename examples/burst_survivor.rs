@@ -16,7 +16,7 @@ use xlsm_suite::study::casestudy::dynamic_l0::{DynamicL0Config, DynamicL0Manager
 use xlsm_suite::study::casestudy::nvm_wal::{apply_wal_placement, WalPlacement};
 use xlsm_suite::study::experiment::Testbed;
 use xlsm_suite::study::TwoStageThrottlePolicy;
-use xlsm_suite::workload::{KeyDistribution, fill_db, run_workload, BurstSpec, WorkloadSpec};
+use xlsm_suite::workload::{fill_db, run_workload, BurstSpec, KeyDistribution, WorkloadSpec};
 
 fn burst_spec() -> WorkloadSpec {
     WorkloadSpec {
@@ -65,7 +65,10 @@ fn run(name: &str, optimized: bool) {
         let r = run_workload(&tb.db, &spec);
         if let Some(m) = mgr {
             let decisions = m.stop();
-            println!("  [{name}] dynamic-L0 retargeted the memtable {} times", decisions.len());
+            println!(
+                "  [{name}] dynamic-L0 retargeted the memtable {} times",
+                decisions.len()
+            );
         }
         let _ = nvm;
         tb.close();

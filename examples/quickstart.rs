@@ -36,7 +36,10 @@ fn main() {
             db.get_at(b"user:1001", snap.sequence()).expect("get_at"),
             Some(b"alice".to_vec())
         );
-        assert_eq!(db.get(b"user:1001").expect("get"), Some(b"ALICE v2".to_vec()));
+        assert_eq!(
+            db.get(b"user:1001").expect("get"),
+            Some(b"ALICE v2".to_vec())
+        );
         drop(snap);
 
         // 5. Ordered scans across memtable and SSTs.
@@ -64,9 +67,16 @@ fn main() {
         );
 
         println!("quickstart OK:");
-        println!("  virtual time elapsed : {:.3} ms", xlsm_suite::sim::now_nanos() as f64 / 1e6);
+        println!(
+            "  virtual time elapsed : {:.3} ms",
+            xlsm_suite::sim::now_nanos() as f64 / 1e6
+        );
         println!("  LSM shape            : {:?}", db2.shape().files_per_level);
-        println!("  device served        : {} reads, {} writes", device.stats().reads, device.stats().writes);
+        println!(
+            "  device served        : {} reads, {} writes",
+            device.stats().reads,
+            device.stats().writes
+        );
         db2.close();
     });
 }

@@ -12,7 +12,7 @@ use xlsm_suite::engine::DbOptions;
 use xlsm_suite::sim::Runtime;
 use xlsm_suite::study::experiment::Testbed;
 use xlsm_suite::study::model;
-use xlsm_suite::workload::{KeyDistribution, fill_db, run_workload, WorkloadSpec};
+use xlsm_suite::workload::{fill_db, run_workload, KeyDistribution, WorkloadSpec};
 
 fn main() {
     let spec = WorkloadSpec {
@@ -26,10 +26,14 @@ fn main() {
         distribution: KeyDistribution::Uniform,
     };
 
-    println!("workload: {} keys x {} B, {} threads, 1:1 read/write, {:?}\n",
-        spec.key_count, spec.value_size, spec.threads, spec.duration);
-    println!("{:<12} {:>9} {:>12} {:>12} {:>12} {:>12}",
-        "device", "kop/s", "read p50", "read p90", "write p50", "write p90");
+    println!(
+        "workload: {} keys x {} B, {} threads, 1:1 read/write, {:?}\n",
+        spec.key_count, spec.value_size, spec.threads, spec.duration
+    );
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "device", "kop/s", "read p50", "read p90", "write p50", "write p90"
+    );
 
     for profile in profiles::paper_devices() {
         let spec = spec.clone();

@@ -1,0 +1,288 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use: groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple mean-of-samples timer — adequate for
+//! spotting regressions, with none of real criterion's statistics.
+//!
+//! Like real criterion, benchmarks only execute when the binary receives
+//! the `--bench` flag (which `cargo bench` passes); under `cargo test`
+//! the harness exits immediately so bench targets stay cheap.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Hint to the optimizer that `value` is used (prevents dead-code
+/// elimination of benchmark bodies).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group; purely informational.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all variants the
+/// same (one setup per routine invocation).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies a parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    target_time: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample slice.
+        let calibrate = Instant::now();
+        black_box(routine());
+        let once = calibrate.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.target_time.as_nanos() / self.samples.max(1) as u128 / once.as_nanos())
+                .clamp(1, 1_000_000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += per_sample as u64;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        if !self.criterion.enabled {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            target_time: self.criterion.measurement_time,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.mean_ns);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id.id.clone(), |b| f(b, input))
+    }
+
+    /// Finishes the group (reporting already happened per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, mean_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  {:>10.1} Kelem/s", n as f64 / mean_ns * 1e9 / 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<28} {:>12.1} ns/iter{}", self.name, id, mean_ns, rate);
+    }
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            // Like real criterion, only measure when cargo bench passes
+            // --bench; under cargo test the targets are built but skipped.
+            enabled: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single unnamed-group benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+
+    /// Whether measurement is enabled (`--bench` was passed).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_without_bench_flag() {
+        // Test binaries never receive --bench, so measurement is off and
+        // bench bodies are skipped entirely.
+        let mut c = Criterion::default();
+        assert!(!c.is_enabled());
+        let mut ran = false;
+        c.benchmark_group("g")
+            .bench_function("noop", |_b| ran = true);
+        assert!(!ran, "bench body must not run without --bench");
+    }
+
+    #[test]
+    fn bencher_measures_when_forced() {
+        let mut b = Bencher {
+            samples: 3,
+            target_time: Duration::from_millis(5),
+            mean_ns: 0.0,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.mean_ns > 0.0);
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.mean_ns > 0.0);
+    }
+}

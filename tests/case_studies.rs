@@ -56,8 +56,7 @@ fn run_with_policy(two_stage: bool) -> PolicyRun {
     Runtime::new().run(move || {
         let mut opts = throttle_prone_opts();
         if two_stage {
-            opts.throttle_policy =
-                Arc::new(TwoStageThrottlePolicy::new(opts.delayed_write_rate));
+            opts.throttle_policy = Arc::new(TwoStageThrottlePolicy::new(opts.delayed_write_rate));
         }
         let fs = SimFs::new(
             xlsm_suite::device::SimDevice::shared(profiles::optane_900p()) as _,
@@ -223,7 +222,10 @@ fn nvm_wal_cuts_synced_write_tail() {
 fn software_bottleneck_narrows_the_hardware_gap() {
     fn kops(profile: xlsm_suite::device::DeviceProfile) -> f64 {
         Runtime::new().run(move || {
-            let fs = SimFs::new(xlsm_suite::device::SimDevice::shared(profile) as _, FsOptions::default());
+            let fs = SimFs::new(
+                xlsm_suite::device::SimDevice::shared(profile) as _,
+                FsOptions::default(),
+            );
             let db = Arc::new(Db::open(fs, DbOptions::default()).unwrap());
             let spec = WorkloadSpec {
                 key_count: 8 << 10,

@@ -7,7 +7,9 @@ use xlsm_suite::device::{profiles, SimDevice};
 use xlsm_suite::engine::{Db, DbOptions};
 use xlsm_suite::sim::Runtime;
 use xlsm_suite::simfs::{FsOptions, SimFs};
-use xlsm_suite::workload::{fill_db, run_workload, KeyDistribution, KeySpace, ValueGenerator, WorkloadSpec};
+use xlsm_suite::workload::{
+    fill_db, run_workload, KeyDistribution, KeySpace, ValueGenerator, WorkloadSpec,
+};
 
 fn small_spec() -> WorkloadSpec {
     WorkloadSpec {
@@ -112,7 +114,8 @@ fn data_integrity_after_heavy_churn_and_reopen() {
         for pass in 0..3u64 {
             for i in 0..2_000 {
                 let idx = (i * 7 + pass * 13) % 2_000;
-                db.put(&ks.key(idx), &vg.value(idx + pass * 10_000)).unwrap();
+                db.put(&ks.key(idx), &vg.value(idx + pass * 10_000))
+                    .unwrap();
             }
         }
         // Delete a stripe.
@@ -141,7 +144,11 @@ fn data_integrity_after_heavy_churn_and_reopen() {
             } else {
                 // Every pass rewrites every index (gcd(7, 2000) = 1), so the
                 // last writer is pass 2.
-                assert_eq!(got, Some(vg.value(i + 2 * 10_000)), "key {i} corrupt after reopen");
+                assert_eq!(
+                    got,
+                    Some(vg.value(i + 2 * 10_000)),
+                    "key {i} corrupt after reopen"
+                );
             }
         }
         db2.close();
