@@ -243,12 +243,12 @@ pub fn fig08_to_12(cfg: &BenchConfig) -> Vec<Figure> {
         "Fig 8: avg num of Level-0 files vs file size (1:1, 4 threads)",
         &["file_size_mb", dev_labels[0], dev_labels[1], dev_labels[2]],
     );
-    for i in 0..sizes.len() {
+    for ((d0, d1), d2) in per_device[0].iter().zip(&per_device[1]).zip(&per_device[2]) {
         t8.row(vec![
-            f(per_device[0][i].size_mb, 1),
-            f(per_device[0][i].avg_l0, 2),
-            f(per_device[1][i].avg_l0, 2),
-            f(per_device[2][i].avg_l0, 2),
+            f(d0.size_mb, 1),
+            f(d0.avg_l0, 2),
+            f(d1.avg_l0, 2),
+            f(d2.avg_l0, 2),
         ]);
     }
     out.push(("fig08".into(), t8));

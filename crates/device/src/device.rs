@@ -44,6 +44,10 @@ pub trait Device: Send + Sync + fmt::Debug {
     fn sync(&self);
     /// Point-in-time counters.
     fn stats(&self) -> DeviceSnapshot;
+    /// Simulates a power failure at the device: writes still queued in the
+    /// volatile write buffer (not yet drained to media) are discarded.
+    /// Devices without a volatile buffer treat this as a no-op.
+    fn power_cut(&self) {}
 }
 
 struct BufState {
@@ -228,6 +232,17 @@ impl Device for SimDevice {
         }
     }
 
+    fn power_cut(&self) {
+        self.stats.add(&self.stats.power_cuts, 1);
+        if self.profile.write_buffer_pages == 0 {
+            return;
+        }
+        // The drain backlog *is* the volatile buffer contents: clearing it
+        // models those writes vanishing, so a later sync has nothing to
+        // wait for.
+        self.buf.lock().drain_next_free = xlsm_sim::now_nanos();
+    }
+
     fn stats(&self) -> DeviceSnapshot {
         let s = &self.stats;
         let (ftl_host_pages, gc_moved_pages, erases, write_amp) = match &self.ftl {
@@ -254,6 +269,7 @@ impl Device for SimDevice {
             syncs: s.syncs.load(Ordering::Relaxed),
             sync_wait_ns: s.sync_wait_ns.load(Ordering::Relaxed),
             trims: s.trims.load(Ordering::Relaxed),
+            power_cuts: s.power_cuts.load(Ordering::Relaxed),
             ftl_host_pages,
             gc_moved_pages,
             erases,
@@ -342,6 +358,23 @@ mod tests {
                 "sustained writes must be drain-paced: {elapsed} vs {}",
                 pages * drain_pace
             );
+        });
+    }
+
+    #[test]
+    fn power_cut_discards_buffered_writes() {
+        Runtime::new().run(|| {
+            let dev = SimDevice::new(profiles::intel_530_sata());
+            dev.write(0, 256); // queued into the volatile buffer
+            dev.power_cut();
+            let t0 = xlsm_sim::now_nanos();
+            dev.sync();
+            assert_eq!(
+                xlsm_sim::now_nanos(),
+                t0,
+                "after a power cut there is no backlog left to drain"
+            );
+            assert_eq!(dev.stats().power_cuts, 1);
         });
     }
 

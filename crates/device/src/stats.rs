@@ -16,6 +16,7 @@ pub(crate) struct Stats {
     pub syncs: AtomicU64,
     pub sync_wait_ns: AtomicU64,
     pub trims: AtomicU64,
+    pub power_cuts: AtomicU64,
 }
 
 impl Stats {
@@ -49,6 +50,8 @@ pub struct DeviceSnapshot {
     pub sync_wait_ns: u64,
     /// TRIM commands served.
     pub trims: u64,
+    /// Power cuts simulated (volatile write buffer discarded).
+    pub power_cuts: u64,
     /// Host pages written as seen by the FTL (flash only).
     pub ftl_host_pages: u64,
     /// GC-relocated pages (flash only).
@@ -88,6 +91,7 @@ impl DeviceSnapshot {
             syncs: self.syncs - earlier.syncs,
             sync_wait_ns: self.sync_wait_ns - earlier.sync_wait_ns,
             trims: self.trims - earlier.trims,
+            power_cuts: self.power_cuts - earlier.power_cuts,
             ftl_host_pages: self.ftl_host_pages - earlier.ftl_host_pages,
             gc_moved_pages: self.gc_moved_pages - earlier.gc_moved_pages,
             erases: self.erases - earlier.erases,

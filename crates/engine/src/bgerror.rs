@@ -1,0 +1,208 @@
+//! RocksDB-style background-error handling.
+//!
+//! Flush and compaction workers never panic on I/O failure. Instead each
+//! error is classified ([`ErrorSeverity`]): **retryable** faults (transient
+//! injected I/O errors) are retried with bounded exponential backoff and
+//! auto-resume on success; **hard** faults (corruption, power loss,
+//! exhausted retries) transition the database to read-only mode, where
+//! writes fail fast with [`DbError::ReadOnly`] while reads keep serving.
+//! [`crate::Db::resume`] re-runs the failed work and clears the state —
+//! the `DB::Resume()` analogue.
+
+use crate::error::DbError;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which background job produced an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackgroundOp {
+    /// Memtable flush to an L0 SST.
+    Flush,
+    /// Level compaction.
+    Compaction,
+    /// Obsolete-file deletion after a compaction.
+    ObsoletePurge,
+}
+
+/// How bad a background error is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorSeverity {
+    /// A retry may succeed; the worker backs off and re-runs the job.
+    Retryable,
+    /// Permanent for this incarnation: the database goes read-only.
+    Hard,
+}
+
+/// Classifies an error: transient I/O faults are retryable, everything
+/// else (corruption, structural filesystem errors, power loss) is hard.
+pub fn classify(e: &DbError) -> ErrorSeverity {
+    if e.is_retryable() {
+        ErrorSeverity::Retryable
+    } else {
+        ErrorSeverity::Hard
+    }
+}
+
+/// A recorded background error, surfaced via `Db::metrics()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackgroundError {
+    /// The job that failed.
+    pub op: BackgroundOp,
+    /// The error itself.
+    pub error: DbError,
+    /// Its classification.
+    pub severity: ErrorSeverity,
+    /// Retries already attempted when this was recorded.
+    pub retries: u32,
+    /// Virtual time of the failure.
+    pub at_nanos: u64,
+}
+
+/// Holds the engine's background-error state: the most relevant recorded
+/// error plus the read-only flag.
+pub struct ErrorHandler {
+    state: parking_lot::Mutex<Option<BackgroundError>>,
+    read_only: AtomicBool,
+}
+
+impl fmt::Debug for ErrorHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ErrorHandler")
+            .field("state", &*self.state.lock())
+            .field("read_only", &self.is_read_only())
+            .finish()
+    }
+}
+
+impl Default for ErrorHandler {
+    fn default() -> ErrorHandler {
+        ErrorHandler::new()
+    }
+}
+
+impl ErrorHandler {
+    /// A clean handler: no error, writable.
+    pub fn new() -> ErrorHandler {
+        ErrorHandler {
+            state: parking_lot::Mutex::new(None),
+            read_only: AtomicBool::new(false),
+        }
+    }
+
+    /// Records `error` from `op`, returning its severity. A recorded hard
+    /// error is never overwritten by a retryable one (severity only
+    /// escalates).
+    pub fn record(&self, op: BackgroundOp, error: DbError, retries: u32) -> ErrorSeverity {
+        let severity = classify(&error);
+        let mut state = self.state.lock();
+        let keep_existing = matches!(
+            &*state,
+            Some(b) if b.severity == ErrorSeverity::Hard && severity == ErrorSeverity::Retryable
+        );
+        if !keep_existing {
+            *state = Some(BackgroundError {
+                op,
+                error,
+                severity,
+                retries,
+                at_nanos: xlsm_sim::now_nanos(),
+            });
+        }
+        severity
+    }
+
+    /// Escalates the recorded error to hard (retry budget exhausted).
+    pub fn escalate(&self) {
+        if let Some(b) = self.state.lock().as_mut() {
+            b.severity = ErrorSeverity::Hard;
+        }
+    }
+
+    /// Flips the database to read-only mode.
+    pub fn enter_read_only(&self) {
+        self.read_only.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether writes are currently rejected.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
+    }
+
+    /// Clears the error state and re-enables writes (auto-resume or
+    /// explicit [`crate::Db::resume`]).
+    pub fn clear(&self) {
+        *self.state.lock() = None;
+        self.read_only.store(false, Ordering::Relaxed);
+    }
+
+    /// The currently recorded error, if any.
+    pub fn current(&self) -> Option<BackgroundError> {
+        self.state.lock().clone()
+    }
+
+    /// The fail-fast error writers receive while read-only, or `None` if
+    /// the database is writable.
+    pub fn read_only_error(&self) -> Option<DbError> {
+        if !self.is_read_only() {
+            return None;
+        }
+        let reason = self
+            .state
+            .lock()
+            .as_ref()
+            .map(|b| format!("{:?} failed: {}", b.op, b.error))
+            .unwrap_or_else(|| "background error".to_owned());
+        Some(DbError::ReadOnly(reason))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlsm_simfs::FsError;
+
+    fn retryable_err() -> DbError {
+        DbError::from(FsError::Io {
+            op: "append",
+            path: "f.sst".into(),
+            retryable: true,
+        })
+    }
+
+    #[test]
+    fn hard_error_not_clobbered_by_retryable() {
+        xlsm_sim::Runtime::new().run(|| {
+            let h = ErrorHandler::new();
+            assert_eq!(
+                h.record(BackgroundOp::Flush, DbError::Corruption("x".into()), 0),
+                ErrorSeverity::Hard
+            );
+            assert_eq!(
+                h.record(BackgroundOp::ObsoletePurge, retryable_err(), 0),
+                ErrorSeverity::Retryable
+            );
+            let cur = h.current().unwrap();
+            assert_eq!(cur.severity, ErrorSeverity::Hard);
+            assert_eq!(cur.op, BackgroundOp::Flush);
+        });
+    }
+
+    #[test]
+    fn read_only_cycle() {
+        xlsm_sim::Runtime::new().run(|| {
+            let h = ErrorHandler::new();
+            assert!(h.read_only_error().is_none());
+            h.record(BackgroundOp::Flush, retryable_err(), 3);
+            h.escalate();
+            h.enter_read_only();
+            match h.read_only_error() {
+                Some(DbError::ReadOnly(msg)) => assert!(msg.contains("Flush")),
+                other => panic!("expected ReadOnly, got {other:?}"),
+            }
+            assert_eq!(h.current().unwrap().severity, ErrorSeverity::Hard);
+            h.clear();
+            assert!(!h.is_read_only());
+            assert!(h.current().is_none());
+        });
+    }
+}

@@ -166,7 +166,7 @@ pub fn pick_compaction(
 /// # Errors
 ///
 /// Filesystem or corruption errors abort the compaction; outputs written so
-/// far are left for the caller's obsolete-file purge.
+/// far are deleted before returning, so a retried compaction starts clean.
 #[allow(clippy::too_many_arguments)]
 pub fn run_compaction(
     task: &CompactionTask,
@@ -195,6 +195,51 @@ pub fn run_compaction(
         return Ok(edit);
     }
 
+    let mut created: Vec<u64> = Vec::new();
+    match merge_into_edit(
+        task,
+        fs,
+        db_path,
+        table_cache,
+        stats,
+        opts,
+        new_file_number,
+        min_snapshot,
+        &mut edit,
+        &mut created,
+    ) {
+        Ok(()) => {
+            stats.add(Ticker::CompactReadBytes, task.input_bytes());
+            stats.add(
+                Ticker::CompactWriteBytes,
+                edit.added.iter().map(|(_, f)| f.file_size).sum(),
+            );
+            Ok(edit)
+        }
+        Err(e) => {
+            for n in created {
+                let _ = fs.delete(&sst_file_name(db_path, n));
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The merge loop proper; output file numbers are pushed to `created` as
+/// they are allocated so the caller can clean up after a failure.
+#[allow(clippy::too_many_arguments)]
+fn merge_into_edit(
+    task: &CompactionTask,
+    fs: &Arc<SimFs>,
+    db_path: &str,
+    table_cache: &Arc<TableCache>,
+    stats: &Arc<DbStats>,
+    opts: &DbOptions,
+    new_file_number: &dyn Fn() -> u64,
+    min_snapshot: SequenceNumber,
+    edit: &mut VersionEdit,
+    created: &mut Vec<u64>,
+) -> DbResult<()> {
     // Build the merged input iterator: L0 files individually (overlapping),
     // the rest as level runs.
     let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
@@ -276,6 +321,7 @@ pub fn run_compaction(
             }
             if builder.is_none() {
                 builder_number = new_file_number();
+                created.push(builder_number);
                 let file = fs.create(&sst_file_name(db_path, builder_number))?;
                 builder = Some(TableBuilder::new(
                     file,
@@ -286,7 +332,7 @@ pub fn run_compaction(
             let b = builder.as_mut().unwrap();
             b.add(&ikey, &merged.value())?;
             if b.file_size() >= opts.target_file_size_base {
-                finish_builder(&mut builder, builder_number, &mut edit)?;
+                finish_builder(&mut builder, builder_number, edit)?;
             }
         }
         ok = merged.next()?;
@@ -294,14 +340,8 @@ pub fn run_compaction(
     if cpu_ns_accum > 0 {
         xlsm_sim::sleep_nanos(cpu_ns_accum);
     }
-    finish_builder(&mut builder, builder_number, &mut edit)?;
-
-    stats.add(Ticker::CompactReadBytes, task.input_bytes());
-    stats.add(
-        Ticker::CompactWriteBytes,
-        edit.added.iter().map(|(_, f)| f.file_size).sum(),
-    );
-    Ok(edit)
+    finish_builder(&mut builder, builder_number, edit)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -371,8 +411,10 @@ mod tests {
 
     #[test]
     fn trivial_move_when_no_overlap() {
-        let mut opts = DbOptions::default();
-        opts.max_bytes_for_level_base = 50; // force L1 over target
+        let opts = DbOptions {
+            max_bytes_for_level_base: 50, // force L1 over target
+            ..DbOptions::default()
+        };
         let v = version_with(vec![], vec![meta(5, b"a", b"c", 100)]);
         let mut cursors = CompactionCursors::new(7);
         let t = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
@@ -383,8 +425,10 @@ mod tests {
 
     #[test]
     fn cursor_round_robins_level_files() {
-        let mut opts = DbOptions::default();
-        opts.max_bytes_for_level_base = 50;
+        let opts = DbOptions {
+            max_bytes_for_level_base: 50,
+            ..DbOptions::default()
+        };
         let v = version_with(
             vec![],
             vec![meta(5, b"a", b"c", 100), meta(6, b"m", b"p", 100)],

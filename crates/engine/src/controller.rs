@@ -163,6 +163,9 @@ pub struct WriteController {
     init_rate: u64,
     state: parking_lot::Mutex<CtlState>,
     stopped: WaitSet,
+    /// When set, stopped writers pass through the stall wait immediately
+    /// (the database went read-only — the stall will never clear).
+    released: std::sync::atomic::AtomicBool,
 }
 
 impl fmt::Debug for WriteController {
@@ -192,6 +195,18 @@ impl WriteController {
                 sink: None,
             }),
             stopped: WaitSet::new("write-stopped"),
+            released: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Forces writers out of (or back into) the stopped-wait: used when
+    /// the database enters read-only mode, where the stall condition will
+    /// never clear and blocked writers must observe the failure instead.
+    pub fn force_release(&self, on: bool) {
+        self.released
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+        if on {
+            self.stopped.notify_all();
         }
     }
 
@@ -307,7 +322,7 @@ impl WriteController {
     pub fn wait_while_stopped(&self) -> Nanos {
         let t0 = xlsm_sim::now_nanos();
         loop {
-            if !self.is_stopped() {
+            if !self.is_stopped() || self.released.load(std::sync::atomic::Ordering::Relaxed) {
                 return xlsm_sim::now_nanos() - t0;
             }
             self.stopped.wait();

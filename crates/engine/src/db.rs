@@ -2,6 +2,7 @@
 //! compaction, shutdown.
 
 use crate::batch::WriteBatch;
+use crate::bgerror::{BackgroundOp, ErrorHandler, ErrorSeverity};
 use crate::cache::BlockCache;
 use crate::compaction::{pick_compaction, run_compaction, CompactionCursors};
 use crate::controller::{StallSignals, WriteController};
@@ -142,6 +143,7 @@ struct DbInner {
     in_compaction: parking_lot::Mutex<HashSet<u64>>,
     cursors: parking_lot::Mutex<CompactionCursors>,
     obsolete: parking_lot::Mutex<Vec<u64>>,
+    bg: ErrorHandler,
 }
 
 /// The key-value store handle. Cheap to clone via `Arc` semantics? No —
@@ -260,6 +262,9 @@ impl DbInner {
     }
 
     /// Deletes SSTs queued as obsolete that no live version references.
+    /// A failed deletion re-queues the file and records the error; it is
+    /// retried at the next purge and never makes data unsafe, so the
+    /// database stays writable.
     fn purge_obsolete(&self) {
         let candidates: Vec<u64> = std::mem::take(&mut *self.obsolete.lock());
         if candidates.is_empty() {
@@ -267,6 +272,7 @@ impl DbInner {
         }
         let live = self.versions.live_files();
         let mut still_pinned = Vec::new();
+        let mut had_error = false;
         for n in candidates {
             if live.contains(&n) {
                 still_pinned.push(n);
@@ -274,11 +280,22 @@ impl DbInner {
                 self.table_cache.evict(n);
                 match self.fs.delete(&sst_file_name(&self.opts.db_path, n)) {
                     Ok(()) | Err(FsError::NotFound(_)) => {}
-                    Err(e) => panic!("failed to delete obsolete SST {n}: {e}"),
+                    Err(e) => {
+                        had_error = true;
+                        still_pinned.push(n);
+                        self.stats.bump(Ticker::BackgroundErrors);
+                        let _ = self.bg.record(BackgroundOp::ObsoletePurge, e.into(), 0);
+                    }
                 }
             }
         }
         self.obsolete.lock().extend(still_pinned);
+        if !had_error && !self.bg.is_read_only() {
+            // A fully clean purge resolves an earlier purge failure.
+            if matches!(self.bg.current(), Some(b) if b.op == BackgroundOp::ObsoletePurge) {
+                self.bg.clear();
+            }
+        }
     }
 
     /// Deletes WAL files with number < the version set's log watermark.
@@ -314,28 +331,40 @@ impl DbInner {
         };
         let t0 = xlsm_sim::now_nanos();
         let number = self.versions.new_file_number();
-        let file = self.fs.create(&sst_file_name(&self.opts.db_path, number))?;
-        let mut builder =
-            TableBuilder::new(file, self.opts.block_size, self.opts.bloom_bits_per_key);
-        let mut iter = mem.iter();
-        let mut ok = InternalIterator::seek_to_first(&mut iter)?;
-        let mut cpu = 0u64;
-        while ok {
-            builder.add(
-                &InternalIterator::key(&iter),
-                &InternalIterator::value(&iter),
-            )?;
-            cpu += costs::FLUSH_ENTRY_NS;
-            if cpu >= 256 * costs::FLUSH_ENTRY_NS {
-                xlsm_sim::sleep_nanos(cpu);
-                cpu = 0;
+        let sst_path = sst_file_name(&self.opts.db_path, number);
+        let build = (|| {
+            let file = self.fs.create(&sst_path)?;
+            let mut builder =
+                TableBuilder::new(file, self.opts.block_size, self.opts.bloom_bits_per_key);
+            let mut iter = mem.iter();
+            let mut ok = InternalIterator::seek_to_first(&mut iter)?;
+            let mut cpu = 0u64;
+            while ok {
+                builder.add(
+                    &InternalIterator::key(&iter),
+                    &InternalIterator::value(&iter),
+                )?;
+                cpu += costs::FLUSH_ENTRY_NS;
+                if cpu >= 256 * costs::FLUSH_ENTRY_NS {
+                    xlsm_sim::sleep_nanos(cpu);
+                    cpu = 0;
+                }
+                ok = InternalIterator::next(&mut iter)?;
             }
-            ok = InternalIterator::next(&mut iter)?;
-        }
-        if cpu > 0 {
-            xlsm_sim::sleep_nanos(cpu);
-        }
-        let props = builder.finish()?;
+            if cpu > 0 {
+                xlsm_sim::sleep_nanos(cpu);
+            }
+            builder.finish()
+        })();
+        let props = match build {
+            Ok(props) => props,
+            Err(e) => {
+                // Drop the partial output so a retried flush starts clean;
+                // the immutable memtable stays queued for the retry.
+                let _ = self.fs.delete(&sst_path);
+                return Err(e);
+            }
+        };
 
         // Install.
         self.install_lock.acquire(1);
@@ -364,7 +393,13 @@ impl DbInner {
         edit.log_number = Some(log_watermark);
         let install = self.versions.log_and_apply(edit);
         self.install_lock.release(1);
-        install?;
+        if let Err(e) = install {
+            // The manifest record may or may not be durable — its state is
+            // unknown, so the error is never retryable. The built SST stays
+            // on disk: if the edit did land, deleting it would leave the
+            // manifest pointing at a missing file.
+            return Err(harden_install_error(e));
+        }
 
         {
             let mut state = self.mem.lock();
@@ -437,7 +472,9 @@ impl DbInner {
                 in_progress.remove(&n);
             }
         }
-        install?;
+        // Manifest state is unknown after an install failure: hard error,
+        // and the outputs stay on disk in case the edit landed.
+        install.map_err(harden_install_error)?;
         if !task.is_trivial_move {
             self.obsolete.lock().extend(task.input_numbers());
             self.purge_obsolete();
@@ -449,6 +486,91 @@ impl DbInner {
         self.update_stall_conditions();
         self.maybe_schedule_compaction();
         Ok(true)
+    }
+
+    // -- background-error handling ------------------------------------------
+
+    /// Runs one background job with RocksDB-style error handling: transient
+    /// I/O errors are retried with bounded exponential backoff (auto-resume
+    /// on success); hard errors — corruption, power loss, exhausted retries
+    /// — transition the database to read-only, where writes fail fast with
+    /// [`DbError::ReadOnly`] while reads keep serving. Workers never panic.
+    fn run_background_job(self: &Arc<Self>, op: BackgroundOp) {
+        let mut retries = 0u32;
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) || self.bg.is_read_only() {
+                return;
+            }
+            let result = match op {
+                BackgroundOp::Flush => self.flush_one().map(|_| ()),
+                BackgroundOp::Compaction => self.compact_one().map(|_| ()),
+                BackgroundOp::ObsoletePurge => {
+                    self.purge_obsolete();
+                    Ok(())
+                }
+            };
+            let e = match result {
+                Ok(()) => {
+                    if retries > 0 && !self.bg.is_read_only() {
+                        self.bg.clear();
+                        self.stats.bump(Ticker::BackgroundAutoResumes);
+                        self.update_stall_conditions();
+                    }
+                    return;
+                }
+                Err(e) => e,
+            };
+            if matches!(e, DbError::Corruption(_)) {
+                self.stats.bump(Ticker::CorruptionDetected);
+                if !self.opts.paranoid_checks && op == BackgroundOp::Compaction {
+                    // Without paranoid checks a corrupt compaction input
+                    // abandons that compaction but keeps the database
+                    // writable (the inputs stay in place).
+                    self.stats.bump(Ticker::BackgroundErrors);
+                    return;
+                }
+            }
+            self.stats.bump(Ticker::BackgroundErrors);
+            let severity = self.bg.record(op, e, retries);
+            if severity == ErrorSeverity::Retryable
+                && retries < self.opts.max_background_error_retries
+            {
+                self.stats.bump(Ticker::BackgroundErrorRetries);
+                let backoff = self
+                    .opts
+                    .background_error_retry_backoff_ns
+                    .saturating_mul(1u64 << retries.min(20));
+                retries += 1;
+                xlsm_sim::sleep_nanos(backoff.max(1));
+                continue;
+            }
+            self.bg.escalate();
+            self.enter_read_only_mode();
+            return;
+        }
+    }
+
+    /// Transitions to read-only mode and force-releases any writers stalled
+    /// inside the controller so they can observe the error and fail fast.
+    fn enter_read_only_mode(&self) {
+        if !self.bg.is_read_only() {
+            self.bg.enter_read_only();
+            self.stats.bump(Ticker::ReadOnlyTransitions);
+        }
+        self.controller.force_release(true);
+    }
+}
+
+/// Maps a failed MANIFEST install to a non-retryable error: the record may
+/// or may not have become durable, so blindly re-running the job could
+/// apply the same edit twice.
+fn harden_install_error(e: DbError) -> DbError {
+    match e {
+        DbError::Io { source, .. } => DbError::Io {
+            retryable: false,
+            source,
+        },
+        other => other,
     }
 }
 
@@ -463,6 +585,9 @@ impl WriteBackend for DbBackend {
         if inner.shutdown.load(Ordering::Relaxed) {
             return Err(DbError::ShuttingDown);
         }
+        if let Some(e) = inner.bg.read_only_error() {
+            return Err(e);
+        }
         let mut stalls = PreprocessStalls::default();
         loop {
             // Stop conditions (Algorithm 1's stop threshold, memtable limit).
@@ -471,6 +596,11 @@ impl WriteBackend for DbBackend {
                 inner.stats.bump(Ticker::StallStoppedWrites);
                 inner.stats.add(Ticker::StallMicros, stopped_ns / 1_000);
                 stalls.stop_wait_ns += stopped_ns;
+            }
+            // A hard background error force-releases stalled writers; they
+            // must fail fast rather than re-enter the stall loop.
+            if let Some(e) = inner.bg.read_only_error() {
+                return Err(e);
             }
             // Delay (Algorithm 1's DELAYWRITE pacing).
             let delay = inner.controller.delay_for_write(group_bytes);
@@ -671,6 +801,7 @@ impl Db {
             in_compaction: parking_lot::Mutex::new(HashSet::new()),
             cursors: parking_lot::Mutex::new(CompactionCursors::new(opts.num_levels)),
             obsolete: parking_lot::Mutex::new(Vec::new()),
+            bg: ErrorHandler::new(),
             wal_fs,
             fs,
             opts,
@@ -687,9 +818,7 @@ impl Db {
                     if inner2.shutdown.load(Ordering::Relaxed) {
                         break;
                     }
-                    if let Err(e) = inner2.flush_one() {
-                        panic!("flush worker failed: {e}");
-                    }
+                    inner2.run_background_job(BackgroundOp::Flush);
                 }
             }));
         }
@@ -702,9 +831,7 @@ impl Db {
                     if inner2.shutdown.load(Ordering::Relaxed) {
                         break;
                     }
-                    if let Err(e) = inner2.compact_one() {
-                        panic!("compaction worker failed: {e}");
-                    }
+                    inner2.run_background_job(BackgroundOp::Compaction);
                 }
             }));
         }
@@ -915,8 +1042,15 @@ impl Db {
     ///
     /// # Errors
     ///
-    /// Flush I/O failures surface via background worker panics.
+    /// Background flush failures surface here instead of panicking the
+    /// worker: a transient I/O error is retried with exponential backoff
+    /// and, once it resolves, this returns `Ok`; a hard error (or an
+    /// exhausted retry budget) transitions the database to read-only and
+    /// this returns [`DbError::ReadOnly`]. See [`Db::resume`].
     pub fn flush(&self) -> DbResult<()> {
+        if let Some(e) = self.inner.bg.read_only_error() {
+            return Err(e);
+        }
         {
             let state = self.inner.mem.lock();
             if state.mutable.is_empty() && state.immutables.is_empty() {
@@ -931,15 +1065,22 @@ impl Db {
             self.inner.switch_memtable()?;
         }
         while !{ self.inner.mem.lock().immutables.is_empty() } {
+            if let Some(e) = self.inner.bg.read_only_error() {
+                return Err(e);
+            }
             xlsm_sim::sleep_nanos(100_000);
         }
         Ok(())
     }
 
     /// Blocks until no compaction is warranted and none is running
-    /// (test/diagnostic helper).
+    /// (test/diagnostic helper). Returns immediately once the database is
+    /// read-only — no further compactions will run until [`Db::resume`].
     pub fn wait_for_compactions(&self) {
         loop {
+            if self.inner.bg.is_read_only() {
+                return;
+            }
             let score = self
                 .inner
                 .versions
@@ -954,6 +1095,34 @@ impl Db {
             self.inner.maybe_schedule_compaction();
             xlsm_sim::sleep_nanos(200_000);
         }
+    }
+
+    /// Clears the background-error state and re-runs the failed work — the
+    /// RocksDB `DB::Resume()` analogue. Pending immutable memtables are
+    /// flushed in the caller's thread; on success the read-only flag lifts,
+    /// stalled writers are re-admitted, and compactions reschedule.
+    ///
+    /// # Errors
+    ///
+    /// The error hit while re-running the work; the database stays
+    /// read-only in that case.
+    pub fn resume(&self) -> DbResult<()> {
+        if self.inner.bg.current().is_none() && !self.inner.bg.is_read_only() {
+            return Ok(());
+        }
+        loop {
+            match self.inner.flush_one() {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        self.inner.bg.clear();
+        self.inner.controller.force_release(false);
+        self.inner.stats.bump(Ticker::BackgroundAutoResumes);
+        self.inner.update_stall_conditions();
+        self.inner.maybe_schedule_compaction();
+        Ok(())
     }
 
     /// Statistics sink.
@@ -993,6 +1162,8 @@ impl Db {
             controller: self.inner.controller.snapshot(),
             device: xlsm_device::Device::stats(&**data_dev),
             wal_device,
+            background_error: self.inner.bg.current(),
+            read_only: self.inner.bg.is_read_only(),
         }
     }
 

@@ -12,19 +12,52 @@ pub type DbResult<T> = Result<T, DbError>;
 pub enum DbError {
     /// Filesystem-level failure.
     Fs(FsError),
+    /// An I/O failure carrying its fault context. Injected faults
+    /// ([`FsError::Io`]) convert into this variant so the background-error
+    /// machinery can classify them as retryable (transient) or hard.
+    Io {
+        /// Whether a retry may succeed.
+        retryable: bool,
+        /// The underlying filesystem fault (available via
+        /// [`Error::source`]).
+        source: FsError,
+    },
     /// On-disk data failed checksum or structural validation.
     Corruption(String),
+    /// The database is in read-only mode after a hard background error:
+    /// writes fail fast, reads keep serving. The payload describes the
+    /// error that caused the transition.
+    ReadOnly(String),
     /// The database is shutting down; the operation was not performed.
     ShuttingDown,
     /// Invalid argument or configuration.
     InvalidArgument(String),
 }
 
+impl DbError {
+    /// Whether a retry of the failed operation may succeed — true only for
+    /// transient I/O faults.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DbError::Io {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::Fs(e) => write!(f, "filesystem error: {e}"),
+            DbError::Io { retryable, source } => {
+                let kind = if *retryable { "retryable" } else { "hard" };
+                write!(f, "{kind} i/o error: {source}")
+            }
             DbError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            DbError::ReadOnly(msg) => write!(f, "database is read-only: {msg}"),
             DbError::ShuttingDown => write!(f, "database is shutting down"),
             DbError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -35,6 +68,7 @@ impl Error for DbError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DbError::Fs(e) => Some(e),
+            DbError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -42,6 +76,48 @@ impl Error for DbError {
 
 impl From<FsError> for DbError {
     fn from(e: FsError) -> DbError {
-        DbError::Fs(e)
+        // Injected faults keep their context (op, path, retryability); the
+        // structural errors stay as plain filesystem errors.
+        match e {
+            FsError::Io { retryable, .. } => DbError::Io {
+                retryable,
+                source: e,
+            },
+            other => DbError::Fs(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_fault_keeps_context_through_from() {
+        let fault = FsError::Io {
+            op: "append",
+            path: "db/000001.sst".into(),
+            retryable: true,
+        };
+        let e = DbError::from(fault.clone());
+        assert!(e.is_retryable());
+        match &e {
+            DbError::Io { source, .. } => assert_eq!(*source, fault),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let chained = e.source().expect("source must chain");
+        assert!(chained.to_string().contains("db/000001.sst"));
+    }
+
+    #[test]
+    fn hard_fault_not_retryable() {
+        let e = DbError::from(FsError::Io {
+            op: "sync",
+            path: "x".into(),
+            retryable: false,
+        });
+        assert!(!e.is_retryable());
+        assert!(!DbError::Corruption("bad".into()).is_retryable());
+        assert!(!DbError::from(FsError::DeviceFull).is_retryable());
     }
 }

@@ -16,7 +16,11 @@
 //!   queue, leader-selected batch groups, optional WAL/memtable pipelining;
 //! * **cross-layer stall accounting** ([`stall`]): per-op write-latency
 //!   breakdowns and a controller-transition event log, snapshotted through
-//!   [`Db::metrics`](db::Db::metrics).
+//!   [`Db::metrics`](db::Db::metrics);
+//! * **background-error handling** ([`bgerror`]): flush/compaction failures
+//!   are classified instead of panicking — transient faults retry with
+//!   bounded backoff, hard faults flip the database to read-only until
+//!   [`Db::resume`](db::Db::resume).
 //!
 //! Everything runs on the [`xlsm_sim`] virtual clock against an
 //! [`xlsm_simfs`] filesystem; CPU work is charged from the calibrated
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod bgerror;
 pub mod bloom;
 pub mod cache;
 pub mod coding;
@@ -61,6 +66,7 @@ pub mod wal;
 pub mod write;
 
 pub use batch::WriteBatch;
+pub use bgerror::{BackgroundError, BackgroundOp, ErrorSeverity};
 pub use db::Db;
 pub use error::{DbError, DbResult};
 pub use histogram::{Histogram, HistogramSummary};

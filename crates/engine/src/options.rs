@@ -60,6 +60,17 @@ pub struct DbOptions {
     /// Throttling policy (Algorithm 1 by default; the two-stage case study
     /// installs a different one).
     pub throttle_policy: Arc<dyn ThrottlePolicy>,
+    /// Verify data integrity aggressively and escalate detected corruption
+    /// in background jobs to a hard error (read-only mode) — RocksDB's
+    /// `paranoid_checks`. When false, a corrupt compaction input aborts
+    /// that compaction but leaves the database writable.
+    pub paranoid_checks: bool,
+    /// Bounded retries for a retryable (transient) background I/O error
+    /// before it escalates to hard and the database goes read-only.
+    pub max_background_error_retries: u32,
+    /// Backoff before the first background-error retry (nanoseconds);
+    /// doubles on each subsequent attempt.
+    pub background_error_retry_backoff_ns: u64,
     /// Optional separate filesystem (device) for the WAL — the NVM-logging
     /// case study (Section V-C).
     pub wal_fs: Option<Arc<SimFs>>,
@@ -110,6 +121,9 @@ impl Default for DbOptions {
             wal_sync: false,
             wal_bytes_per_sync: 16 << 10, // 512 KB / 32 (scaled, like the rest of the geometry)
             delayed_write_rate: 16 << 20, // 16 MB/s
+            paranoid_checks: true,
+            max_background_error_retries: 6,
+            background_error_retry_backoff_ns: 1_000_000, // 1 ms, doubling
             throttle_policy: Arc::new(OriginalThrottlePolicy),
             wal_fs: None,
             db_path: "db".to_owned(),
@@ -180,11 +194,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_geometry() {
-        let mut o = DbOptions::default();
-        o.level0_stop_writes_trigger = 3;
+        let o = DbOptions {
+            level0_stop_writes_trigger: 3,
+            ..DbOptions::default()
+        };
         assert!(o.validate().is_err());
-        let mut o2 = DbOptions::default();
-        o2.write_buffer_size = 1024;
+        let o2 = DbOptions {
+            write_buffer_size: 1024,
+            ..DbOptions::default()
+        };
         assert!(o2.validate().is_err());
     }
 }

@@ -37,6 +37,11 @@ pub enum Ticker {
     StallMicros,
     WriteGroupsLed,
     WritesJoinedGroup,
+    BackgroundErrors,
+    BackgroundErrorRetries,
+    BackgroundAutoResumes,
+    ReadOnlyTransitions,
+    CorruptionDetected,
     TickerCount, // sentinel
 }
 
@@ -205,6 +210,12 @@ pub struct Metrics {
     pub device: DeviceSnapshot,
     /// Same for the WAL device, when the WAL lives on a separate one.
     pub wal_device: Option<DeviceSnapshot>,
+    /// The active background error, if the engine is in an error state
+    /// (being retried, or hard and read-only).
+    pub background_error: Option<crate::bgerror::BackgroundError>,
+    /// Whether the engine is in read-only mode after a hard background
+    /// error.
+    pub read_only: bool,
 }
 
 impl Metrics {

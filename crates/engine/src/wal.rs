@@ -101,7 +101,7 @@ pub fn read_wal(fs: &std::sync::Arc<SimFs>, path: &str) -> DbResult<Vec<Vec<u8>>
     let file = match fs.open(path) {
         Ok(f) => f,
         Err(FsError::NotFound(_)) => return Ok(Vec::new()),
-        Err(e) => return Err(DbError::Fs(e)),
+        Err(e) => return Err(DbError::from(e)),
     };
     let size = file.len();
     let mut out = Vec::new();

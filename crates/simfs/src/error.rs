@@ -26,6 +26,18 @@ pub enum FsError {
     DeviceFull,
     /// The handle refers to a file that was deleted.
     Stale(String),
+    /// An I/O failure, either injected by the fault layer
+    /// ([`crate::FaultPlan`]) or caused by a simulated power cut.
+    Io {
+        /// The operation that failed (`"read"`, `"append"`, `"sync"`, ...).
+        op: &'static str,
+        /// Path of the file the operation targeted.
+        path: String,
+        /// Whether a retry may succeed (transient fault) or the failure is
+        /// permanent for this incarnation of the filesystem (e.g. power
+        /// loss).
+        retryable: bool,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -39,6 +51,14 @@ impl fmt::Display for FsError {
             ),
             FsError::DeviceFull => write!(f, "simulated device is full"),
             FsError::Stale(p) => write!(f, "handle refers to deleted file: {p}"),
+            FsError::Io {
+                op,
+                path,
+                retryable,
+            } => {
+                let kind = if *retryable { "transient" } else { "hard" };
+                write!(f, "{kind} i/o error during {op} of {path}")
+            }
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::alloc::ExtentAllocator;
 use crate::error::{FsError, FsResult};
+use crate::fault::{FaultOp, FaultOutcome, FaultPlan, FaultState};
 use crate::pagecache::{PageCache, PageKey};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -65,6 +66,69 @@ pub struct FsStats {
     pub dirty_pages: u64,
     /// Live files.
     pub files: u64,
+    /// I/O errors injected by the fault layer (including torn writes).
+    pub injected_errors: u64,
+    /// Torn (partially applied) appends injected.
+    pub torn_writes: u64,
+    /// Bit flips injected into read payloads.
+    pub bit_flips: u64,
+    /// Power cuts simulated.
+    pub power_cuts: u64,
+}
+
+/// Per-file crash-durability bookkeeping. Files are append-only, so a
+/// page's "valid bytes" count only ever grows; tracking byte counts per
+/// page (rather than whole pages) lets a power cut keep a partially
+/// written final page exactly as far as it was persisted.
+#[derive(Debug, Default)]
+struct Durability {
+    /// page index -> bytes of that page pushed to the device (possibly
+    /// still in its volatile write buffer, awaiting a barrier).
+    device: HashMap<u64, u32>,
+    /// page index -> bytes of that page made durable by a device barrier
+    /// (or by write-through on devices without a write buffer).
+    durable: HashMap<u64, u32>,
+}
+
+impl Durability {
+    /// Records that `bytes` of `page` reached the device; `write_through`
+    /// devices (no volatile buffer) persist immediately.
+    fn record_device_write(&mut self, page: u64, bytes: u32, write_through: bool) {
+        let e = self.device.entry(page).or_insert(0);
+        *e = (*e).max(bytes);
+        if write_through {
+            let d = self.durable.entry(page).or_insert(0);
+            *d = (*d).max(bytes);
+        }
+    }
+
+    /// A device barrier completed: everything previously pushed to the
+    /// device is now durable.
+    fn promote(&mut self) {
+        for (&page, &bytes) in &self.device {
+            let d = self.durable.entry(page).or_insert(0);
+            *d = (*d).max(bytes);
+        }
+    }
+
+    /// Length of the longest durable prefix of the file: full pages until
+    /// the first page that is missing or partially durable.
+    fn durable_prefix_bytes(&self) -> u64 {
+        let mut len = 0u64;
+        let mut page = 0u64;
+        loop {
+            match self.durable.get(&page) {
+                Some(&bytes) => {
+                    len += bytes as u64;
+                    if (bytes as usize) < xlsm_device::PAGE_SIZE {
+                        return len;
+                    }
+                    page += 1;
+                }
+                None => return len,
+            }
+        }
+    }
 }
 
 struct FileData {
@@ -74,6 +138,7 @@ struct FileData {
     /// Allocated device extents `(start_lpn, pages)` covering the file.
     extents: parking_lot::Mutex<Vec<(u64, u64)>>,
     deleted: AtomicBool,
+    durability: parking_lot::Mutex<Durability>,
 }
 
 impl FileData {
@@ -108,6 +173,17 @@ pub struct SimFs {
     sync_writebacks: AtomicU64,
     bg_writebacks: AtomicU64,
     wb_wake: xlsm_sim::sync::WaitSet,
+    fault: parking_lot::Mutex<Option<FaultState>>,
+    /// Set by [`SimFs::power_cut`]; every operation fails until
+    /// [`SimFs::power_restore`].
+    dead: AtomicBool,
+    /// Devices without a volatile write buffer (e.g. 3D XPoint) persist
+    /// writes as they land; buffered devices need a barrier.
+    write_through: bool,
+    injected_errors: AtomicU64,
+    torn_writes: AtomicU64,
+    bit_flips: AtomicU64,
+    power_cuts: AtomicU64,
 }
 
 impl fmt::Debug for SimFs {
@@ -124,6 +200,7 @@ impl SimFs {
     /// writeback daemon (must be called inside a sim runtime).
     pub fn new(device: Arc<dyn Device>, opts: FsOptions) -> Arc<SimFs> {
         let capacity = device.profile().capacity_pages;
+        let write_through = device.profile().write_buffer_pages == 0;
         let fs = Arc::new(SimFs {
             device,
             cache: parking_lot::Mutex::new(PageCache::new(opts.page_cache_pages)),
@@ -135,6 +212,13 @@ impl SimFs {
             sync_writebacks: AtomicU64::new(0),
             bg_writebacks: AtomicU64::new(0),
             wb_wake: xlsm_sim::sync::WaitSet::new("fs-writeback"),
+            fault: parking_lot::Mutex::new(None),
+            dead: AtomicBool::new(false),
+            write_through,
+            injected_errors: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            bit_flips: AtomicU64::new(0),
+            power_cuts: AtomicU64::new(0),
             opts,
         });
         // Background writeback (the pdflush/kworker analogue): drains dirty
@@ -192,6 +276,7 @@ impl SimFs {
             content: parking_lot::RwLock::new(Vec::new()),
             extents: parking_lot::Mutex::new(Vec::new()),
             deleted: AtomicBool::new(false),
+            durability: parking_lot::Mutex::new(Durability::default()),
         });
         {
             let mut files = self.files.lock();
@@ -304,6 +389,112 @@ impl SimFs {
             resident_pages: cache.resident_count() as u64,
             dirty_pages: cache.dirty_count() as u64,
             files: self.files.lock().len() as u64,
+            injected_errors: self.injected_errors.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            power_cuts: self.power_cuts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs a fault-injection plan, replacing any previous one. The
+    /// plan's RNG stream and operation counters start fresh.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(FaultState::new(plan));
+    }
+
+    /// Removes the active fault plan; subsequent operations run clean.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// Whether a power cut is in effect (operations fail until
+    /// [`SimFs::power_restore`]).
+    pub fn is_powered_off(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Simulates a power failure: every file is truncated to its durable
+    /// prefix (bytes persisted past the device barrier — or at write time
+    /// on write-through devices), all cached pages are dropped, the
+    /// device's volatile write buffer is discarded, and every subsequent
+    /// operation fails with a hard [`FsError::Io`] until
+    /// [`SimFs::power_restore`].
+    ///
+    /// The namespace itself (file names, allocations) survives, modelling
+    /// a journaled-metadata filesystem where only data buffered in RAM or
+    /// the device write buffer is lost.
+    pub fn power_cut(&self) {
+        self.power_cuts.fetch_add(1, Ordering::Relaxed);
+        self.dead.store(true, Ordering::Relaxed);
+        self.device.power_cut();
+        let by_id = self.by_id.lock();
+        for data in by_id.values() {
+            let mut dur = data.durability.lock();
+            dur.device.clear();
+            let keep = dur.durable_prefix_bytes() as usize;
+            let mut content = data.content.write();
+            if content.len() > keep {
+                content.truncate(keep);
+            }
+        }
+        drop(by_id);
+        self.cache.lock().drop_all();
+    }
+
+    /// Restores power after [`SimFs::power_cut`] so files can be reopened
+    /// (crash recovery). Any active fault plan is dropped: the restored
+    /// incarnation starts clean.
+    pub fn power_restore(&self) {
+        self.clear_fault_plan();
+        self.dead.store(false, Ordering::Relaxed);
+    }
+
+    /// Fails the operation if a power cut is in effect.
+    fn fail_if_dead(&self, op: &'static str, path: &str) -> FsResult<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            Err(FsError::Io {
+                op,
+                path: path.to_owned(),
+                retryable: false,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consults the fault plan for one operation and bumps the injection
+    /// counters. [`FaultOutcome::PowerCut`] is executed here.
+    fn fault_decide(&self, op: FaultOp, path: &str, len: usize) -> FaultOutcome {
+        let outcome = {
+            let mut guard = self.fault.lock();
+            match guard.as_mut() {
+                Some(state) => state.decide(op, path, len),
+                None => FaultOutcome::None,
+            }
+        };
+        match outcome {
+            FaultOutcome::Error { .. } => {
+                self.injected_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultOutcome::Torn { .. } => {
+                self.injected_errors.fetch_add(1, Ordering::Relaxed);
+                self.torn_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultOutcome::BitFlip { .. } => {
+                self.bit_flips.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultOutcome::PowerCut => self.power_cut(),
+            FaultOutcome::None => {}
+        }
+        outcome
+    }
+
+    /// Promotes device-buffered bytes to durable for every file: called
+    /// after a device barrier completes.
+    fn promote_durable(&self) {
+        let by_id = self.by_id.lock();
+        for data in by_id.values() {
+            data.durability.lock().promote();
         }
     }
 
@@ -317,11 +508,26 @@ impl SimFs {
         if victims.is_empty() {
             return;
         }
-        // Resolve LPNs; skip pages of deleted files.
+        // Resolve LPNs; skip pages of deleted files. This is the single
+        // point where data reaches the device, so durability bookkeeping
+        // (for power-cut simulation) is recorded here too.
         let by_id = self.by_id.lock();
         let mut lpns: Vec<u64> = victims
             .iter()
-            .filter_map(|&(file, page)| by_id.get(&file).and_then(|f| f.lpn_of(page)))
+            .filter_map(|&(file, page)| {
+                let f = by_id.get(&file)?;
+                let lpn = f.lpn_of(page)?;
+                let len = f.content.read().len() as u64;
+                let valid = len
+                    .saturating_sub(page * PAGE_SIZE as u64)
+                    .min(PAGE_SIZE as u64) as u32;
+                if valid > 0 {
+                    f.durability
+                        .lock()
+                        .record_device_write(page, valid, self.write_through);
+                }
+                Some(lpn)
+            })
             .collect();
         drop(by_id);
         lpns.sort_unstable();
@@ -421,11 +627,44 @@ impl FileHandle {
     /// # Errors
     ///
     /// [`FsError::Stale`] if the file was deleted; [`FsError::DeviceFull`]
-    /// if extent allocation fails.
+    /// if extent allocation fails; [`FsError::Io`] if the fault layer
+    /// injects a failure (a torn-write fault applies a strict prefix of
+    /// `data` before failing).
     pub fn append(&self, data: &[u8]) -> FsResult<u64> {
         self.check_live()?;
+        let name = self.name();
+        self.fs.fail_if_dead("append", &name)?;
+        match self.fs.fault_decide(FaultOp::Append, &name, data.len()) {
+            FaultOutcome::None => self.append_inner(data),
+            FaultOutcome::Error { retryable } => Err(FsError::Io {
+                op: "append",
+                path: name,
+                retryable,
+            }),
+            FaultOutcome::Torn { keep, retryable } => {
+                // A torn write: part of the payload lands before the fault.
+                let _ = self.append_inner(&data[..keep]);
+                Err(FsError::Io {
+                    op: "append",
+                    path: name,
+                    retryable,
+                })
+            }
+            FaultOutcome::PowerCut => Err(FsError::Io {
+                op: "append",
+                path: name,
+                retryable: false,
+            }),
+            FaultOutcome::BitFlip { .. } => unreachable!("bit flips only target reads"),
+        }
+    }
+
+    fn append_inner(&self, data: &[u8]) -> FsResult<u64> {
         let fs = &self.fs;
         xlsm_sim::sleep_nanos(fs.opts.host_write_ns + fs.memcpy_ns(data.len()));
+        if data.is_empty() {
+            return Ok(self.len());
+        }
         // Extend content.
         let (offset, new_len) = {
             let mut content = self.data.content.write();
@@ -463,9 +702,32 @@ impl FileHandle {
     /// # Errors
     ///
     /// [`FsError::OutOfRange`] if the range exceeds the file;
-    /// [`FsError::Stale`] if the file was deleted.
+    /// [`FsError::Stale`] if the file was deleted; [`FsError::Io`] if the
+    /// fault layer injects a failure (a bit-flip fault corrupts one bit of
+    /// the returned payload instead of erroring).
     pub fn read_at(&self, offset: u64, len: usize) -> FsResult<Vec<u8>> {
         self.check_live()?;
+        let name = self.name();
+        self.fs.fail_if_dead("read", &name)?;
+        let flip = match self.fs.fault_decide(FaultOp::Read, &name, len) {
+            FaultOutcome::None => None,
+            FaultOutcome::BitFlip { byte, bit } => Some((byte, bit)),
+            FaultOutcome::Error { retryable } => {
+                return Err(FsError::Io {
+                    op: "read",
+                    path: name,
+                    retryable,
+                })
+            }
+            FaultOutcome::PowerCut => {
+                return Err(FsError::Io {
+                    op: "read",
+                    path: name,
+                    retryable: false,
+                })
+            }
+            FaultOutcome::Torn { .. } => unreachable!("torn faults only target appends"),
+        };
         let fs = &self.fs;
         xlsm_sim::sleep_nanos(fs.opts.host_read_ns + fs.memcpy_ns(len));
         let size = self.len();
@@ -514,7 +776,12 @@ impl FileHandle {
             }
         }
         let content = self.data.content.read();
-        Ok(content[offset as usize..offset as usize + len].to_vec())
+        let mut out = content[offset as usize..offset as usize + len].to_vec();
+        if let Some((byte, bit)) = flip {
+            // Transient corruption: only the returned copy is flipped.
+            out[byte] ^= 1u8 << bit;
+        }
+        Ok(out)
     }
 
     /// Populates the page cache for `[offset, offset + len)` with coalesced
@@ -528,6 +795,7 @@ impl FileHandle {
     /// clamped silently.
     pub fn prefetch(&self, offset: u64, len: usize) -> FsResult<()> {
         self.check_live()?;
+        self.fs.fail_if_dead("prefetch", &self.name())?;
         let fs = &self.fs;
         let size = self.len();
         if offset >= size || len == 0 {
@@ -579,9 +847,11 @@ impl FileHandle {
     ///
     /// # Errors
     ///
-    /// [`FsError::Stale`] if the file was deleted.
+    /// [`FsError::Stale`] if the file was deleted; [`FsError::Io`] if the
+    /// fault layer injects a failure (nothing is written back then).
     pub fn sync(&self) -> FsResult<()> {
         self.check_live()?;
+        self.fault_check_sync()?;
         let pages = self.fs.cache.lock().clean_file(self.data.id);
         self.fs
             .sync_writebacks
@@ -589,7 +859,30 @@ impl FileHandle {
         let keys: Vec<PageKey> = pages.into_iter().map(|p| (self.data.id, p)).collect();
         self.fs.write_back(&keys);
         self.fs.device.sync();
+        // The barrier has completed: everything previously pushed to the
+        // device (any file) is now durable.
+        self.fs.promote_durable();
         Ok(())
+    }
+
+    /// Shared fault hook for [`FileHandle::sync`] / [`FileHandle::flush_data`].
+    fn fault_check_sync(&self) -> FsResult<()> {
+        let name = self.name();
+        self.fs.fail_if_dead("sync", &name)?;
+        match self.fs.fault_decide(FaultOp::Sync, &name, 0) {
+            FaultOutcome::None => Ok(()),
+            FaultOutcome::Error { retryable } => Err(FsError::Io {
+                op: "sync",
+                path: name,
+                retryable,
+            }),
+            FaultOutcome::PowerCut => Err(FsError::Io {
+                op: "sync",
+                path: name,
+                retryable: false,
+            }),
+            other => unreachable!("sync faults cannot be {other:?}"),
+        }
     }
 
     /// Like [`FileHandle::sync`] but without the device barrier — pushes the
@@ -598,9 +891,11 @@ impl FileHandle {
     ///
     /// # Errors
     ///
-    /// [`FsError::Stale`] if the file was deleted.
+    /// [`FsError::Stale`] if the file was deleted; [`FsError::Io`] if the
+    /// fault layer injects a failure.
     pub fn flush_data(&self) -> FsResult<()> {
         self.check_live()?;
+        self.fault_check_sync()?;
         let pages = self.fs.cache.lock().clean_file(self.data.id);
         self.fs
             .sync_writebacks
@@ -815,6 +1110,156 @@ mod tests {
                 h.join();
             }
             assert_eq!(f.len(), 8192 + 4 * 50 * 100);
+        });
+    }
+
+    #[test]
+    fn power_cut_loses_unsynced_keeps_synced() {
+        Runtime::new().run(|| {
+            // SATA flash: has a volatile write buffer, so only barriered
+            // data survives.
+            let dev = SimDevice::shared(profiles::intel_530_sata());
+            let fs = SimFs::new(Arc::clone(&dev) as Arc<dyn Device>, FsOptions::default());
+            let f = fs.create("f").unwrap();
+            f.append(&vec![1u8; 10_000]).unwrap();
+            f.sync().unwrap();
+            f.append(&vec![2u8; 10_000]).unwrap(); // buffered only
+            fs.power_cut();
+            assert!(fs.is_powered_off());
+            assert!(matches!(
+                f.read_at(0, 1),
+                Err(FsError::Io {
+                    retryable: false,
+                    ..
+                })
+            ));
+            fs.power_restore();
+            let g = fs.open("f").unwrap();
+            assert_eq!(g.len(), 10_000, "synced prefix survives, tail is lost");
+            assert_eq!(g.read_at(9_999, 1).unwrap(), vec![1u8]);
+            assert_eq!(fs.stats().power_cuts, 1);
+        });
+    }
+
+    #[test]
+    fn power_cut_partial_page_durable_prefix() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(1024);
+            let f = fs.create("f").unwrap();
+            f.append(&vec![7u8; 5000]).unwrap(); // 1 full + 1 partial page
+            f.sync().unwrap();
+            f.append(&[8u8; 3]).unwrap(); // extends the partial page
+            fs.power_cut();
+            fs.power_restore();
+            assert_eq!(fs.open("f").unwrap().len(), 5000);
+        });
+    }
+
+    #[test]
+    fn write_through_device_survives_without_barrier() {
+        Runtime::new().run(|| {
+            // Optane has no volatile write buffer: anything written back to
+            // the device (even without a barrier) is durable.
+            let (fs, _) = fixture(16); // tiny cache forces writeback
+            let f = fs.create("f").unwrap();
+            f.append(&vec![3u8; 256 * 1024]).unwrap(); // evictions push pages out
+            let pushed = fs.stats().dirty_evictions + fs.stats().throttle_writebacks;
+            assert!(pushed > 0, "tiny cache must have forced writebacks");
+            fs.power_cut();
+            fs.power_restore();
+            let g = fs.open("f").unwrap();
+            assert!(
+                g.len() >= pushed * 4096,
+                "written-back pages must be durable on write-through devices"
+            );
+        });
+    }
+
+    #[test]
+    fn injected_append_error_is_reported() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            let f = fs.create("a.sst").unwrap();
+            let g = fs.create("b.log").unwrap();
+            fs.set_fault_plan(crate::FaultPlan {
+                fail_nth_write: Some(1),
+                path_filter: Some(".sst".into()),
+                ..crate::FaultPlan::default()
+            });
+            g.append(b"unaffected").unwrap();
+            assert!(matches!(
+                f.append(b"doomed"),
+                Err(FsError::Io {
+                    op: "append",
+                    retryable: true,
+                    ..
+                })
+            ));
+            assert_eq!(f.len(), 0, "a scripted error applies nothing");
+            f.append(b"fine now").unwrap();
+            assert_eq!(fs.stats().injected_errors, 1);
+            fs.clear_fault_plan();
+        });
+    }
+
+    #[test]
+    fn torn_write_applies_strict_prefix() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            let f = fs.create("wal.log").unwrap();
+            f.append(b"intact-record").unwrap();
+            fs.set_fault_plan(crate::FaultPlan {
+                torn_write_nth: Some(1),
+                seed: 9,
+                ..crate::FaultPlan::default()
+            });
+            let err = f.append(&vec![5u8; 1000]).unwrap_err();
+            assert!(matches!(err, FsError::Io { .. }));
+            let len = f.len();
+            assert!(
+                (13..13 + 1000).contains(&len),
+                "torn append must keep a strict prefix, len={len}"
+            );
+            assert_eq!(fs.stats().torn_writes, 1);
+        });
+    }
+
+    #[test]
+    fn bit_flip_corrupts_only_returned_copy() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            let f = fs.create("f").unwrap();
+            f.append(&[0u8; 100]).unwrap();
+            fs.set_fault_plan(crate::FaultPlan {
+                bit_flip_nth_read: Some(1),
+                ..crate::FaultPlan::default()
+            });
+            let flipped = f.read_at(0, 100).unwrap();
+            assert_eq!(
+                flipped.iter().filter(|&&b| b != 0).count(),
+                1,
+                "exactly one byte should differ"
+            );
+            let clean = f.read_at(0, 100).unwrap();
+            assert_eq!(clean, vec![0u8; 100], "stored bytes stay intact");
+            assert_eq!(fs.stats().bit_flips, 1);
+        });
+    }
+
+    #[test]
+    fn scripted_power_cut_fires_mid_workload() {
+        Runtime::new().run(|| {
+            let (fs, _) = fixture(64);
+            let f = fs.create("f").unwrap();
+            fs.set_fault_plan(crate::FaultPlan {
+                power_cut_at_op: Some(3),
+                ..crate::FaultPlan::default()
+            });
+            f.append(b"one").unwrap();
+            f.append(b"two").unwrap();
+            assert!(matches!(f.append(b"three"), Err(FsError::Io { .. })));
+            assert!(fs.is_powered_off());
+            assert_eq!(fs.stats().power_cuts, 1);
         });
     }
 

@@ -19,6 +19,11 @@
 //! The cache capacity is how experiments reproduce the paper's 8 GB RAM /
 //! 100 GB dataset ratio at scale.
 //!
+//! The layer also hosts deterministic **fault injection** ([`FaultPlan`]):
+//! scripted or probabilistic I/O errors, torn writes, read bit-flips, and
+//! [`SimFs::power_cut`], which discards everything not durably synced past
+//! the device barrier — the substrate for the crash-consistency harness.
+//!
 //! ```
 //! use xlsm_device::{profiles, SimDevice};
 //! use xlsm_simfs::{FsOptions, SimFs};
@@ -38,8 +43,10 @@
 
 mod alloc;
 mod error;
+mod fault;
 mod fs;
 mod pagecache;
 
 pub use error::{FsError, FsResult};
+pub use fault::{FaultOp, FaultPlan};
 pub use fs::{FileHandle, FsOptions, FsStats, SimFs};

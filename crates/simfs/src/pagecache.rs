@@ -158,6 +158,17 @@ impl PageCache {
         removed
     }
 
+    /// Drops every resident page (power cut: RAM contents vanish) while
+    /// keeping the hit/miss/eviction counters intact.
+    pub fn drop_all(&mut self) {
+        for s in &mut self.slots {
+            *s = Slot::default();
+        }
+        self.map.clear();
+        self.dirty = 0;
+        self.hand = 0;
+    }
+
     /// Takes up to `n` dirty pages in clock order (oldest-ish first) for
     /// dirty-ratio writeback, marking them clean. Returns `(file, page)`
     /// pairs.

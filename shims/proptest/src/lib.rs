@@ -707,7 +707,7 @@ mod tests {
             let doubled = v as u64 * 2;
             prop_assert_eq!(doubled / 2, v as u64);
             if flag {
-                prop_assert!(doubled % 2 == 0);
+                prop_assert!(doubled.is_multiple_of(2));
             }
         }
 
