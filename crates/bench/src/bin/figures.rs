@@ -19,7 +19,7 @@ fn main() {
         eprintln!(
             "usage: figures [--quick] <all | fig01 | fig03 | fig04 | fig05 | fig06 | fig07 | \
              fig08 | fig09 | fig10 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | \
-             fig19 | fig20 | stalls | ext_skew> ..."
+             fig19 | fig20 | stalls | ext_skew | parallelism> ..."
         );
         std::process::exit(2);
     }
@@ -93,6 +93,9 @@ fn main() {
     }
     if want("ext_skew") || args.iter().any(|a| a == "ext") {
         emit(figures::ext_skew(&cfg));
+    }
+    if want("parallelism") {
+        emit(figures::fig_parallelism(&cfg));
     }
 
     if count == 0 {

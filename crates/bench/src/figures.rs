@@ -621,6 +621,20 @@ pub fn ext_skew(cfg: &BenchConfig) -> Vec<Figure> {
     vec![("ext_skew".into(), t)]
 }
 
+// ---------------------------------------------------------------------------
+// Extension — device parallelism (subcompactions + MultiGet)
+// ---------------------------------------------------------------------------
+
+/// Extension experiment: Level-0 drain throughput vs `max_subcompactions`
+/// and batched MultiGet vs sequential gets on each device. The faster the
+/// device, the more idle internal parallelism a serial compaction or a
+/// one-key-at-a-time read path leaves on the table — Section VI's
+/// "saturate the device" discussion, measured. Details and the JSON probe
+/// live in [`crate::parallelism`].
+pub fn fig_parallelism(cfg: &BenchConfig) -> Vec<Figure> {
+    crate::parallelism::run(cfg).tables()
+}
+
 /// Every figure in paper order. This is what `figures all` runs.
 pub fn all_figures(cfg: &BenchConfig) -> Vec<Figure> {
     let mut out = Vec::new();

@@ -17,11 +17,13 @@
 //! | [`fig19`] | Fig. 19 | dynamic Level-0 management |
 //! | [`fig20`] | Fig. 20 | WAL placement: SSD vs NVM vs disabled |
 //! | [`fig_stalls`] | Figs. 6/7 (stall view) | cross-layer stall timeline + write-time breakdown |
+//! | [`fig_parallelism`] | extension (§VI) | subcompaction drain throughput + batched MultiGet |
 
 #![warn(missing_docs)]
 
 pub mod common;
 pub mod figures;
+pub mod parallelism;
 
 pub use common::BenchConfig;
 pub use figures::*;

@@ -37,9 +37,23 @@ impl Shard {
             *last = tick;
             let b = Arc::clone(block);
             self.queue.push_back((*key, tick));
+            self.drain_stale();
             Some(b)
         } else {
             None
+        }
+    }
+
+    /// Compacts the recency queue once stale entries dominate. Every touch
+    /// pushes a `(key, tick)` entry but only the newest tick per key is
+    /// live, so a read-heavy cache-hit workload would otherwise grow the
+    /// queue without bound. Rebuilding keeps exactly one entry per cached
+    /// block and at least halves the queue, so the cost is amortized O(1)
+    /// per touch.
+    fn drain_stale(&mut self) {
+        if self.queue.len() > 2 * self.map.len() {
+            self.queue
+                .retain(|(k, t)| matches!(self.map.get(k), Some((_, last)) if last == t));
         }
     }
 
@@ -66,6 +80,7 @@ impl Shard {
                 None => break,
             }
         }
+        self.drain_stale();
     }
 
     fn remove_file(&mut self, file: u64) {
@@ -221,6 +236,23 @@ mod tests {
         c.insert(same_shard[2], block(2000)); // must evict [1]
         assert!(c.get(&same_shard[0]).is_some(), "recently used survived");
         assert!(c.get(&same_shard[1]).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn hit_heavy_workload_keeps_recency_queue_bounded() {
+        let c = BlockCache::new(1 << 20);
+        c.insert((1, 0), block(100));
+        c.insert((1, 4096), block(100));
+        for _ in 0..10_000 {
+            assert!(c.get(&(1, 0)).is_some());
+            assert!(c.get(&(1, 4096)).is_some());
+        }
+        let queued: usize = c.shards.iter().map(|s| s.lock().queue.len()).sum();
+        let live: usize = c.shards.iter().map(|s| s.lock().map.len()).sum();
+        assert!(
+            queued <= 2 * live + 2,
+            "recency queue grew unbounded: {queued} entries for {live} blocks"
+        );
     }
 
     #[test]

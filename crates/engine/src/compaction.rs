@@ -25,7 +25,7 @@ use xlsm_simfs::SimFs;
 
 /// A picked compaction: inputs at `level` and overlapping files at
 /// `output_level`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CompactionTask {
     /// Input level.
     pub level: usize,
@@ -163,10 +163,17 @@ pub fn pick_compaction(
 /// edit to install. Purely additive: installation and input deletion are
 /// the caller's job.
 ///
+/// When `opts.max_subcompactions > 1` the input key space is cut at SST
+/// block boundaries into up to that many disjoint user-key ranges, each
+/// merged by its own sim thread writing its own outputs; the partial edits
+/// are stitched back together in range order. Inputs that do not offer
+/// enough distinct boundary keys fall back to the serial merge.
+///
 /// # Errors
 ///
 /// Filesystem or corruption errors abort the compaction; outputs written so
-/// far are deleted before returning, so a retried compaction starts clean.
+/// far (by every subcompaction) are deleted before returning, so a retried
+/// compaction starts clean.
 #[allow(clippy::too_many_arguments)]
 pub fn run_compaction(
     task: &CompactionTask,
@@ -175,7 +182,7 @@ pub fn run_compaction(
     table_cache: &Arc<TableCache>,
     stats: &Arc<DbStats>,
     opts: &DbOptions,
-    new_file_number: &dyn Fn() -> u64,
+    new_file_number: Arc<dyn Fn() -> u64 + Send + Sync>,
     min_snapshot: SequenceNumber,
 ) -> DbResult<VersionEdit> {
     let mut edit = VersionEdit::default();
@@ -196,18 +203,58 @@ pub fn run_compaction(
     }
 
     let mut created: Vec<u64> = Vec::new();
-    match merge_into_edit(
-        task,
-        fs,
-        db_path,
-        table_cache,
-        stats,
-        opts,
-        new_file_number,
-        min_snapshot,
-        &mut edit,
-        &mut created,
-    ) {
+    let result = if opts.max_subcompactions > 1 {
+        match subcompaction_ranges(task, table_cache, opts.max_subcompactions) {
+            Ok(ranges) if ranges.len() > 1 => run_subcompactions(
+                task,
+                fs,
+                db_path,
+                table_cache,
+                stats,
+                opts,
+                &new_file_number,
+                min_snapshot,
+                ranges,
+                &mut edit,
+                &mut created,
+            ),
+            Ok(_) => {
+                // Not enough boundary keys to cut: serial merge.
+                stats.bump(Ticker::SubcompactionFallbacks);
+                merge_into_edit(
+                    task,
+                    fs,
+                    db_path,
+                    table_cache,
+                    stats,
+                    opts,
+                    &*new_file_number,
+                    min_snapshot,
+                    None,
+                    None,
+                    &mut edit,
+                    &mut created,
+                )
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        merge_into_edit(
+            task,
+            fs,
+            db_path,
+            table_cache,
+            stats,
+            opts,
+            &*new_file_number,
+            min_snapshot,
+            None,
+            None,
+            &mut edit,
+            &mut created,
+        )
+    };
+    match result {
         Ok(()) => {
             stats.add(Ticker::CompactReadBytes, task.input_bytes());
             stats.add(
@@ -225,8 +272,127 @@ pub fn run_compaction(
     }
 }
 
-/// The merge loop proper; output file numbers are pushed to `created` as
-/// they are allocated so the caller can clean up after a failure.
+/// A half-open `[lo, hi)` user-key range one subcompaction covers; `None`
+/// bounds are open ends.
+type KeyRange = (Option<Vec<u8>>, Option<Vec<u8>>);
+
+/// Computes the disjoint user-key ranges `[lo, hi)` a compaction fans out
+/// across: candidate cut points are the block-boundary keys of every input
+/// file (read from their already-parsed index blocks), evenly thinned down
+/// to at most `max_subcompactions` ranges. `None` bounds are open ends.
+/// Returns a single full-range entry when there is nothing to cut.
+fn subcompaction_ranges(
+    task: &CompactionTask,
+    table_cache: &Arc<TableCache>,
+    max_subcompactions: usize,
+) -> DbResult<Vec<KeyRange>> {
+    let mut candidates: Vec<Vec<u8>> = Vec::new();
+    for f in task.inputs.iter().chain(task.inputs_next.iter()) {
+        let reader = table_cache.reader(f)?;
+        candidates.extend(reader.block_boundary_user_keys().map(<[u8]>::to_vec));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    // The largest key cannot start a non-empty trailing range (a cut is the
+    // *inclusive start* of the next range and everything sorts before it).
+    candidates.pop();
+    let want = max_subcompactions.min(candidates.len() + 1);
+    if want <= 1 {
+        return Ok(vec![(None, None)]);
+    }
+    let mut cuts: Vec<Vec<u8>> = (1..want)
+        .map(|i| candidates[i * candidates.len() / want].clone())
+        .collect();
+    cuts.dedup();
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut lo: Option<Vec<u8>> = None;
+    for cut in cuts {
+        ranges.push((lo, Some(cut.clone())));
+        lo = Some(cut);
+    }
+    ranges.push((lo, None));
+    Ok(ranges)
+}
+
+/// Fans the merge out: one sim thread per range, each writing its own
+/// outputs; partial edits are stitched in range order so the combined
+/// output file list stays sorted and disjoint. Every range's created file
+/// numbers reach `created` even on failure so the caller can clean up.
+#[allow(clippy::too_many_arguments)]
+fn run_subcompactions(
+    task: &CompactionTask,
+    fs: &Arc<SimFs>,
+    db_path: &str,
+    table_cache: &Arc<TableCache>,
+    stats: &Arc<DbStats>,
+    opts: &DbOptions,
+    new_file_number: &Arc<dyn Fn() -> u64 + Send + Sync>,
+    min_snapshot: SequenceNumber,
+    ranges: Vec<KeyRange>,
+    edit: &mut VersionEdit,
+    created: &mut Vec<u64>,
+) -> DbResult<()> {
+    stats.add(Ticker::SubcompactionsLaunched, ranges.len() as u64);
+    let task = Arc::new(task.clone());
+    let mut handles = Vec::with_capacity(ranges.len());
+    for (i, (lo, hi)) in ranges.into_iter().enumerate() {
+        let task = Arc::clone(&task);
+        let fs = Arc::clone(fs);
+        let db_path = db_path.to_owned();
+        let table_cache = Arc::clone(table_cache);
+        let stats = Arc::clone(stats);
+        let opts = opts.clone();
+        let new_file_number = Arc::clone(new_file_number);
+        handles.push(xlsm_sim::spawn(&format!("subcompact-{i}"), move || {
+            let t0 = xlsm_sim::now_nanos();
+            let mut part = VersionEdit::default();
+            let mut part_created = Vec::new();
+            let r = merge_into_edit(
+                &task,
+                &fs,
+                &db_path,
+                &table_cache,
+                &stats,
+                &opts,
+                &*new_file_number,
+                min_snapshot,
+                lo.as_deref(),
+                hi.as_deref(),
+                &mut part,
+                &mut part_created,
+            );
+            stats
+                .subcompaction_duration
+                .record(xlsm_sim::now_nanos() - t0);
+            (r, part.added, part_created)
+        }));
+    }
+    let mut first_err = None;
+    for h in handles {
+        let (r, added, part_created) = h.join();
+        created.extend(part_created);
+        match r {
+            Ok(()) => edit.added.extend(added),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// The merge loop proper, restricted to user keys in `[lo, hi)` (`None`
+/// bounds are open). Output file numbers are pushed to `created` as they
+/// are allocated so the caller can clean up after a failure.
+///
+/// Ranges cut at user-key granularity keep the per-key shadowing state
+/// (`last_user_key` / `last_kept_visible`) self-contained: every version of
+/// one user key lands in exactly one range.
 #[allow(clippy::too_many_arguments)]
 fn merge_into_edit(
     task: &CompactionTask,
@@ -237,6 +403,8 @@ fn merge_into_edit(
     opts: &DbOptions,
     new_file_number: &dyn Fn() -> u64,
     min_snapshot: SequenceNumber,
+    lo: Option<&[u8]>,
+    hi: Option<&[u8]>,
     edit: &mut VersionEdit,
     created: &mut Vec<u64>,
 ) -> DbResult<()> {
@@ -288,10 +456,20 @@ fn merge_into_edit(
             Ok(())
         };
 
-    let mut ok = merged.seek_to_first()?;
+    let mut ok = match lo {
+        // The lookup key for `lo` (seq = MAX) is the smallest internal key
+        // of that user key, so the range starts at its newest version.
+        Some(lo) => merged.seek(&types::make_lookup_key(lo, types::MAX_SEQUENCE))?,
+        None => merged.seek_to_first()?,
+    };
     while ok {
         let ikey = merged.key();
         let (uk, seq, t) = types::parse_internal_key(&ikey);
+        if let Some(hi) = hi {
+            if uk >= hi {
+                break; // next range's territory
+            }
+        }
         // Batch the per-entry CPU charge to one sleep per 256 entries.
         cpu_ns_accum += costs::MERGE_ENTRY_NS;
         if cpu_ns_accum >= 256 * costs::MERGE_ENTRY_NS {

@@ -11,7 +11,7 @@ use crate::error::{DbError, DbResult};
 use crate::iterator::{DbIterator, InternalIterator, LevelIterator, MergingIterator};
 use crate::memtable::MemTable;
 use crate::options::DbOptions;
-use crate::sst::{sst_file_name, TableBuilder, TableReader};
+use crate::sst::{sst_file_name, TableBuilder, TableProbe, TableReader};
 use crate::stall::PreprocessStalls;
 use crate::stats::{DbStats, Metrics, Ticker};
 use crate::types::{self, SequenceNumber, ValueType};
@@ -29,31 +29,107 @@ use xlsm_simfs::{FsError, SimFs};
 // Table cache
 // ---------------------------------------------------------------------------
 
-/// Caches open [`TableReader`]s and owns the shared block cache.
+/// LRU state for the open-reader map: recency is a logical tick with a
+/// lazily-invalidated queue, mirroring the block-cache shards so eviction
+/// stays deterministic.
+struct ReaderMap {
+    map: std::collections::HashMap<u64, (Arc<TableReader>, u64)>,
+    queue: std::collections::VecDeque<(u64, u64)>,
+    tick: u64,
+    /// Maximum cached readers (`0` = unbounded).
+    cap: usize,
+}
+
+impl ReaderMap {
+    fn touch(&mut self, number: u64) -> Option<Arc<TableReader>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let r = self.map.get_mut(&number).map(|(r, last)| {
+            *last = tick;
+            Arc::clone(r)
+        });
+        if r.is_some() {
+            self.queue.push_back((number, tick));
+            self.drain_stale();
+        }
+        r
+    }
+
+    fn insert(&mut self, number: u64, reader: Arc<TableReader>) -> Arc<TableReader> {
+        self.tick += 1;
+        let tick = self.tick;
+        let out = Arc::clone(
+            &self
+                .map
+                .entry(number)
+                .or_insert_with(|| (reader, tick))
+                // A racing open may have beaten us here; keep the first
+                // reader, but refresh its recency either way.
+                .0,
+        );
+        self.map.get_mut(&number).unwrap().1 = tick;
+        self.queue.push_back((number, tick));
+        while self.cap > 0 && self.map.len() > self.cap {
+            match self.queue.pop_front() {
+                Some((n, t)) => {
+                    if matches!(self.map.get(&n), Some((_, last)) if *last == t) {
+                        self.map.remove(&n);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.drain_stale();
+        out
+    }
+
+    /// Compacts the recency queue once stale entries dominate; afterwards
+    /// it holds exactly one entry per cached reader. Amortized O(1).
+    fn drain_stale(&mut self) {
+        if self.queue.len() > 2 * self.map.len() {
+            self.queue
+                .retain(|(n, t)| matches!(self.map.get(n), Some((_, last)) if last == t));
+        }
+    }
+}
+
+/// Caches open [`TableReader`]s (bounded by `max_open_files`, LRU) and owns
+/// the shared block cache.
 pub struct TableCache {
     fs: Arc<SimFs>,
     db_path: String,
     block_cache: Arc<BlockCache>,
-    readers: parking_lot::Mutex<std::collections::HashMap<u64, Arc<TableReader>>>,
+    readers: parking_lot::Mutex<ReaderMap>,
 }
 
 impl std::fmt::Debug for TableCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TableCache")
-            .field("open_tables", &self.readers.lock().len())
+            .field("open_tables", &self.readers.lock().map.len())
             .finish_non_exhaustive()
     }
 }
 
 impl TableCache {
     /// Creates a table cache over `fs` with a block cache of
-    /// `block_cache_capacity` bytes.
-    pub fn new(fs: Arc<SimFs>, db_path: &str, block_cache_capacity: usize) -> Arc<TableCache> {
+    /// `block_cache_capacity` bytes, keeping at most `max_open_files`
+    /// readers open (`0` = unbounded).
+    pub fn new(
+        fs: Arc<SimFs>,
+        db_path: &str,
+        block_cache_capacity: usize,
+        max_open_files: usize,
+    ) -> Arc<TableCache> {
         Arc::new(TableCache {
             fs,
             db_path: db_path.to_owned(),
             block_cache: BlockCache::new(block_cache_capacity),
-            readers: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            readers: parking_lot::Mutex::new(ReaderMap {
+                map: std::collections::HashMap::new(),
+                queue: std::collections::VecDeque::new(),
+                tick: 0,
+                cap: max_open_files,
+            }),
         })
     }
 
@@ -63,8 +139,8 @@ impl TableCache {
     ///
     /// Filesystem or corruption errors from opening the table.
     pub fn reader(&self, meta: &Arc<FileMetaData>) -> DbResult<Arc<TableReader>> {
-        if let Some(r) = self.readers.lock().get(&meta.number) {
-            return Ok(Arc::clone(r));
+        if let Some(r) = self.readers.lock().touch(meta.number) {
+            return Ok(r);
         }
         // Open outside the lock (it performs reads).
         let file = self.fs.open(&sst_file_name(&self.db_path, meta.number))?;
@@ -73,14 +149,17 @@ impl TableCache {
             meta.number,
             Arc::clone(&self.block_cache),
         )?);
-        Ok(Arc::clone(
-            self.readers.lock().entry(meta.number).or_insert(reader),
-        ))
+        Ok(self.readers.lock().insert(meta.number, reader))
+    }
+
+    /// Currently cached open readers.
+    pub fn open_readers(&self) -> usize {
+        self.readers.lock().map.len()
     }
 
     /// Drops cached state for a deleted file.
     pub fn evict(&self, number: u64) {
-        self.readers.lock().remove(&number);
+        self.readers.lock().map.remove(&number);
         self.block_cache.remove_file(number);
     }
 
@@ -450,7 +529,7 @@ impl DbInner {
             &self.table_cache,
             &self.stats,
             &self.opts,
-            &move || inner.versions.new_file_number(),
+            Arc::new(move || inner.versions.new_file_number()),
             min_snapshot,
         );
         let edit = match result {
@@ -559,6 +638,38 @@ impl DbInner {
         }
         self.controller.force_release(true);
     }
+}
+
+/// One file's worth of a MultiGet batch: the SST to open plus every probe
+/// it must answer.
+struct ProbeJob {
+    level: usize,
+    file: Arc<FileMetaData>,
+    probes: Vec<TableProbe>,
+}
+
+/// A MultiGet probe hit: `(batch slot, level, internal key, value)`.
+type ProbeHit = (usize, usize, Vec<u8>, Vec<u8>);
+
+/// Probes each job's table once with its whole probe set, returning
+/// `(slot, level, ikey, value)` hits. Runs on a MultiGet probe thread (or
+/// inline when the batch doesn't warrant fan-out).
+fn run_probe_jobs(
+    table_cache: &Arc<TableCache>,
+    stats: &Arc<DbStats>,
+    jobs: &[ProbeJob],
+) -> DbResult<Vec<ProbeHit>> {
+    let mut hits = Vec::new();
+    for job in jobs {
+        if job.level == 0 {
+            stats.add(Ticker::L0FilesSearched, job.probes.len() as u64);
+        }
+        let reader = table_cache.reader(&job.file)?;
+        for (slot, (ikey, value)) in reader.get_many(&job.probes, stats)? {
+            hits.push((slot, job.level, ikey, value));
+        }
+    }
+    Ok(hits)
 }
 
 /// Maps a failed MANIFEST install to a non-retryable error: the record may
@@ -693,7 +804,12 @@ impl Db {
         } else {
             VersionSet::create_new(Arc::clone(&fs), &db_path, &opts)?
         };
-        let table_cache = TableCache::new(Arc::clone(&fs), &db_path, opts.block_cache_capacity);
+        let table_cache = TableCache::new(
+            Arc::clone(&fs),
+            &db_path,
+            opts.block_cache_capacity,
+            opts.max_open_files,
+        );
         let stats = DbStats::shared();
 
         // --- WAL recovery ---------------------------------------------------
@@ -982,6 +1098,191 @@ impl Db {
         Ok(None)
     }
 
+    /// Batched point lookups at the current snapshot: the batch pins one
+    /// sequence number, consults the memtables inline, then fans the
+    /// unresolved keys out across table readers in parallel (grouped so
+    /// each SST is probed once per batch) — the read-side analogue of the
+    /// device's internal channel parallelism. Results are positionally
+    /// aligned with `keys`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption failures from any probe thread.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> DbResult<Vec<Option<Vec<u8>>>> {
+        self.multi_get_at(keys, self.inner.versions.last_sequence())
+    }
+
+    /// [`Db::multi_get`] as of `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption failures from any probe thread.
+    pub fn multi_get_at(
+        &self,
+        keys: &[&[u8]],
+        snapshot: SequenceNumber,
+    ) -> DbResult<Vec<Option<Vec<u8>>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t0 = xlsm_sim::now_nanos();
+        // Batch setup (key hashing, version pinning) is paid once.
+        xlsm_sim::sleep_nanos(costs::GET_SETUP_NS);
+        let inner = &self.inner;
+        inner.stats.bump(Ticker::MultiGetBatches);
+        inner.stats.add(Ticker::MultiGetKeys, keys.len() as u64);
+        inner.stats.add(Ticker::Gets, keys.len() as u64);
+        let result = self.multi_get_inner(keys, snapshot);
+        inner
+            .stats
+            .multi_get_latency
+            .record(xlsm_sim::now_nanos() - t0);
+        result
+    }
+
+    fn multi_get_inner(
+        &self,
+        keys: &[&[u8]],
+        snapshot: SequenceNumber,
+    ) -> DbResult<Vec<Option<Vec<u8>>>> {
+        let inner = &self.inner;
+        let (mutable, immutables) = {
+            let mem = inner.mem.lock();
+            (
+                Arc::clone(&mem.mutable),
+                mem.immutables
+                    .iter()
+                    .map(|(m, _)| Arc::clone(m))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        // Memtables are strictly newer than any SST: resolve inline first.
+        // Outer None = unresolved; `Some(found)` carries hit-or-tombstone.
+        let mut out: Vec<Option<Option<Vec<u8>>>> = vec![None; keys.len()];
+        for (i, key) in keys.iter().enumerate() {
+            xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
+                mutable.num_entries().max(1),
+                mutable.approximate_bytes().max(1) as u64,
+            ));
+            if let Some(found) = mutable.get(key, snapshot) {
+                inner.stats.bump(Ticker::GetHitMemtable);
+                out[i] = Some(found);
+                continue;
+            }
+            for m in immutables.iter().rev() {
+                xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
+                    m.num_entries().max(1),
+                    m.approximate_bytes().max(1) as u64,
+                ));
+                if let Some(found) = m.get(key, snapshot) {
+                    inner.stats.bump(Ticker::GetHitImmutable);
+                    out[i] = Some(found);
+                    break;
+                }
+            }
+        }
+        let unresolved: Vec<(usize, &[u8])> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| out[*i].is_none())
+            .map(|(i, k)| (i, *k))
+            .collect();
+        if unresolved.is_empty() {
+            return Ok(out.into_iter().map(Option::unwrap).collect());
+        }
+
+        // Group unresolved keys per SST, then probe files concurrently.
+        // Sequence numbers are unique per key version and only ever move
+        // *down* the tree, so the visible value is simply the hit with the
+        // highest sequence ≤ snapshot across all probed files — no
+        // level-by-level short-circuit needed.
+        let version = inner.versions.current();
+        let jobs: Vec<ProbeJob> = version
+            .probe_groups(&unresolved)
+            .into_iter()
+            .map(|(level, file, slots)| ProbeJob {
+                level,
+                file,
+                probes: slots
+                    .into_iter()
+                    .map(|slot| TableProbe {
+                        slot,
+                        lookup: types::make_lookup_key(keys[slot], snapshot),
+                        user_key: keys[slot].to_vec(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let threads = inner.opts.multi_get_parallelism.min(jobs.len());
+        let hits = if threads <= 1 {
+            run_probe_jobs(&inner.table_cache, &inner.stats, &jobs)?
+        } else {
+            inner
+                .stats
+                .add(Ticker::MultiGetProbeThreads, threads as u64);
+            let mut buckets: Vec<Vec<ProbeJob>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, job) in jobs.into_iter().enumerate() {
+                buckets[i % threads].push(job);
+            }
+            let mut handles = Vec::with_capacity(threads);
+            for (i, bucket) in buckets.into_iter().enumerate() {
+                let table_cache = Arc::clone(&inner.table_cache);
+                let stats = Arc::clone(&inner.stats);
+                handles.push(xlsm_sim::spawn(&format!("multiget-{i}"), move || {
+                    run_probe_jobs(&table_cache, &stats, &bucket)
+                }));
+            }
+            let mut hits = Vec::new();
+            let mut first_err = None;
+            for h in handles {
+                match h.join() {
+                    Ok(hs) => hits.extend(hs),
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            hits
+        };
+
+        type BestVersion = (SequenceNumber, ValueType, Vec<u8>, usize);
+        let mut best: Vec<Option<BestVersion>> = vec![None; keys.len()];
+        for (slot, level, ikey, value) in hits {
+            let (_, seq, t) = types::parse_internal_key(&ikey);
+            if best[slot].as_ref().is_none_or(|(bs, ..)| seq > *bs) {
+                best[slot] = Some((seq, t, value, level));
+            }
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            if o.is_some() {
+                continue;
+            }
+            *o = Some(match best[i].take() {
+                Some((_, t, value, level)) => {
+                    inner.stats.bump(if level == 0 {
+                        Ticker::GetHitL0
+                    } else {
+                        Ticker::GetHitLn
+                    });
+                    match t {
+                        ValueType::Value => Some(value),
+                        ValueType::Deletion => None,
+                    }
+                }
+                None => {
+                    inner.stats.bump(Ticker::GetMiss);
+                    None
+                }
+            });
+        }
+        Ok(out.into_iter().map(Option::unwrap).collect())
+    }
+
     /// A full-database scan cursor at the current snapshot.
     ///
     /// # Errors
@@ -1081,11 +1382,15 @@ impl Db {
             if self.inner.bg.is_read_only() {
                 return;
             }
+            // Score against the *effective* options: with a runtime L0
+            // trigger override in place (deferred compactions), the
+            // scheduler will not pick work the configured trigger would,
+            // and waiting on the configured score would spin forever.
             let score = self
                 .inner
                 .versions
                 .current()
-                .compaction_score(&self.inner.opts)
+                .compaction_score(&self.inner.effective_opts())
                 .1;
             let busy = !self.inner.in_compaction.lock().is_empty()
                 || self.inner.compact_queued.load(Ordering::Relaxed) > 0;
@@ -1156,6 +1461,8 @@ impl Db {
             wal_append: stats.wal_append.summary(),
             flush_duration: stats.flush_duration.summary(),
             compaction_duration: stats.compaction_duration.summary(),
+            subcompaction_duration: stats.subcompaction_duration.summary(),
+            multi_get_latency: stats.multi_get_latency.summary(),
             avg_waiting_writers: stats.avg_waiting_writers(),
             stall: stats.stall.snapshot(),
             stall_events: stats.stall.drain_events(),
@@ -1235,6 +1542,12 @@ impl Db {
     /// Block cache counters `(hits, misses)`.
     pub fn block_cache_counters(&self) -> (u64, u64) {
         self.inner.table_cache.block_cache().counters()
+    }
+
+    /// Currently cached open table readers (bounded by
+    /// `DbOptions::max_open_files`).
+    pub fn open_table_readers(&self) -> usize {
+        self.inner.table_cache.open_readers()
     }
 
     /// A multi-line human-readable statistics report (the
@@ -1503,6 +1816,63 @@ mod tests {
                     "key{i:06} lost after compaction"
                 );
             }
+            db.close();
+        });
+    }
+
+    #[test]
+    fn table_cache_bounded_by_max_open_files() {
+        Runtime::new().run(|| {
+            let opts = DbOptions {
+                max_open_files: 16,
+                ..small_opts()
+            };
+            let (db, _fs) = open_db(opts);
+            let value = vec![b'v'; 512];
+            for i in 0..4000u32 {
+                db.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+            }
+            db.flush().unwrap();
+            db.wait_for_compactions();
+            assert!(
+                db.shape().files_per_level.iter().sum::<usize>() > 16,
+                "need more live SSTs than the cap for the test to bite"
+            );
+            // Touch every file's key range; the cache must stay at the cap.
+            for i in (0..4000u32).step_by(7) {
+                assert_eq!(
+                    db.get(format!("key{i:06}").as_bytes()).unwrap(),
+                    Some(value.clone())
+                );
+            }
+            assert!(
+                db.open_table_readers() <= 16,
+                "table cache holds {} readers, cap is 16",
+                db.open_table_readers()
+            );
+            db.close();
+        });
+    }
+
+    #[test]
+    fn multi_get_resolves_across_memtable_ssts_and_tombstones() {
+        Runtime::new().run(|| {
+            let (db, _fs) = open_db(small_opts());
+            for i in 0..400u32 {
+                db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            db.flush().unwrap();
+            db.delete(b"key0003").unwrap(); // tombstone over an SST value
+            db.put(b"key0001", b"fresh").unwrap(); // memtable shadows SST
+            let keys: Vec<&[u8]> = vec![b"key0001", b"key0002", b"key0003", b"nope"];
+            let got = db.multi_get(&keys).unwrap();
+            assert_eq!(got[0], Some(b"fresh".to_vec()));
+            assert_eq!(got[1], Some(b"v2".to_vec()));
+            assert_eq!(got[2], None, "tombstone must win over older SST value");
+            assert_eq!(got[3], None);
+            assert_eq!(db.stats().ticker(Ticker::MultiGetBatches), 1);
+            assert_eq!(db.stats().ticker(Ticker::MultiGetKeys), 4);
             db.close();
         });
     }

@@ -36,6 +36,20 @@ pub struct DbOptions {
     pub max_background_compactions: usize,
     /// Flush worker threads (high-priority pool).
     pub max_background_flushes: usize,
+    /// Maximum key-range partitions one compaction may fan out across
+    /// (RocksDB `max_subcompactions`). `1` keeps the merge serial; higher
+    /// values split the input key space at SST block boundaries and run one
+    /// merge thread per range, draining compaction debt at device speed on
+    /// devices with internal parallelism.
+    pub max_subcompactions: usize,
+    /// Maximum concurrent SST probe threads for one [`crate::Db::multi_get`]
+    /// batch. `1` probes files sequentially (the `get` path, repeated).
+    pub multi_get_parallelism: usize,
+    /// Maximum cached open [`crate::sst::TableReader`]s in the table cache
+    /// (RocksDB `max_open_files`). `0` means unbounded; otherwise the
+    /// least-recently-used reader handle is closed when over the cap
+    /// (decoded blocks stay in the block cache).
+    pub max_open_files: usize,
     /// Bloom bits per key; `0` disables blooms (the `db_bench` default the
     /// paper runs with, which is why L0 file count hurts reads).
     pub bloom_bits_per_key: usize,
@@ -112,6 +126,9 @@ impl Default for DbOptions {
             num_levels: 7,
             max_background_compactions: 1, // db_bench / RocksDB 5.17 default
             max_background_flushes: 1,
+            max_subcompactions: 1, // RocksDB 5.17 default: serial compaction
+            multi_get_parallelism: 4,
+            max_open_files: 256,
             bloom_bits_per_key: 0,
             block_size: 4096,
             block_cache_capacity: 2 << 20,
@@ -166,6 +183,15 @@ impl DbOptions {
         if self.block_size < 256 {
             return Err("block_size must be >= 256".into());
         }
+        if self.max_subcompactions == 0 {
+            return Err("max_subcompactions must be >= 1".into());
+        }
+        if self.multi_get_parallelism == 0 {
+            return Err("multi_get_parallelism must be >= 1".into());
+        }
+        if self.max_open_files != 0 && self.max_open_files < 16 {
+            return Err("max_open_files must be 0 (unbounded) or >= 16".into());
+        }
         Ok(())
     }
 }
@@ -204,5 +230,30 @@ mod tests {
             ..DbOptions::default()
         };
         assert!(o2.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_parallelism() {
+        for bad in [
+            DbOptions {
+                max_subcompactions: 0,
+                ..DbOptions::default()
+            },
+            DbOptions {
+                multi_get_parallelism: 0,
+                ..DbOptions::default()
+            },
+            DbOptions {
+                max_open_files: 4,
+                ..DbOptions::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        let unbounded = DbOptions {
+            max_open_files: 0,
+            ..DbOptions::default()
+        };
+        unbounded.validate().unwrap();
     }
 }

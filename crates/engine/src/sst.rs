@@ -329,6 +329,22 @@ impl TableBuilder {
 // Table reader
 // ---------------------------------------------------------------------------
 
+/// One key of a [`TableReader::get_many`] batch.
+#[derive(Clone, Debug)]
+pub struct TableProbe {
+    /// Caller-side index of the key this probe answers (opaque to the
+    /// reader; echoed back with any hit).
+    pub slot: usize,
+    /// Internal lookup key (`make_lookup_key(user_key, snapshot)`).
+    pub lookup: Vec<u8>,
+    /// The bare user key (bloom check + hit validation).
+    pub user_key: Vec<u8>,
+}
+
+/// One [`TableReader::get_many`] hit: the probe's slot plus the matching
+/// `(internal key, value)` entry.
+pub type TableHit = (usize, (Vec<u8>, Vec<u8>));
+
 /// Open handle to one SST: parsed index + bloom, block access via cache.
 pub struct TableReader {
     file: FileHandle,
@@ -434,6 +450,13 @@ impl TableReader {
         self.index.len()
     }
 
+    /// User keys on each data-block boundary (the last key of every block),
+    /// in ascending order — the candidate cut points for range-partitioned
+    /// subcompactions. Served from the already-parsed index: no I/O.
+    pub fn block_boundary_user_keys(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.index.iter().map(|(last, _, _)| types::user_key(last))
+    }
+
     /// Loads block `i` through the cache, charging read + decode costs.
     fn block(&self, i: usize, stats: &DbStats) -> DbResult<Arc<Block>> {
         let (_, off, size) = self.index[i];
@@ -494,6 +517,60 @@ impl TableReader {
             return Ok(None);
         }
         Ok(Some((k.clone(), v.clone())))
+    }
+
+    /// Batched point lookup: answers every probe in one pass over the
+    /// table, paying the fixed per-table cost once and decoding each
+    /// distinct data block at most once (probes are grouped per block).
+    /// Returns `(slot, (ikey, value))` for each probe that hit; misses are
+    /// simply absent.
+    ///
+    /// # Errors
+    ///
+    /// Corruption or filesystem errors.
+    pub fn get_many(&self, probes: &[TableProbe], stats: &DbStats) -> DbResult<Vec<TableHit>> {
+        xlsm_sim::sleep_nanos(costs::TABLE_LOOKUP_BASE_NS);
+        // Resolve each probe to its block first so block loads can be
+        // shared; `by_block` is sorted so one block is decoded exactly once.
+        let mut by_block: Vec<(usize, usize)> = Vec::new(); // (block, probe idx)
+        for (i, p) in probes.iter().enumerate() {
+            if let Some(bloom) = &self.bloom {
+                xlsm_sim::sleep_nanos(costs::BLOOM_CHECK_NS);
+                if !BloomFilter::may_contain(bloom, &p.user_key) {
+                    stats.bump(Ticker::BloomUseful);
+                    continue;
+                }
+            }
+            if let Some(bi) = self.block_for(&p.lookup) {
+                by_block.push((bi, i));
+            }
+        }
+        by_block.sort_unstable();
+        let mut hits = Vec::new();
+        let mut cur: Option<(usize, Arc<Block>)> = None;
+        for (bi, i) in by_block {
+            let block = match &cur {
+                Some((loaded, b)) if *loaded == bi => Arc::clone(b),
+                _ => {
+                    let b = self.block(bi, stats)?;
+                    cur = Some((bi, Arc::clone(&b)));
+                    b
+                }
+            };
+            let p = &probes[i];
+            xlsm_sim::sleep_nanos(costs::binary_search_ns(block.entries.len() as u64));
+            let pos = block
+                .entries
+                .partition_point(|(k, _)| compare_internal(k, &p.lookup) == Ordering::Less);
+            if pos >= block.entries.len() {
+                continue;
+            }
+            let (k, v) = &block.entries[pos];
+            if types::user_key(k) == &p.user_key[..] {
+                hits.push((p.slot, (k.clone(), v.clone())));
+            }
+        }
+        Ok(hits)
     }
 
     /// Iterator over the whole table.

@@ -42,6 +42,11 @@ pub enum Ticker {
     BackgroundAutoResumes,
     ReadOnlyTransitions,
     CorruptionDetected,
+    SubcompactionsLaunched,
+    SubcompactionFallbacks,
+    MultiGetBatches,
+    MultiGetKeys,
+    MultiGetProbeThreads,
     TickerCount, // sentinel
 }
 
@@ -63,6 +68,11 @@ pub struct DbStats {
     pub flush_duration: Histogram,
     /// Compaction job durations.
     pub compaction_duration: Histogram,
+    /// Per-subcompaction (one key range of a fanned-out compaction) merge
+    /// durations; empty while compactions run serial.
+    pub subcompaction_duration: Histogram,
+    /// Client-visible MultiGet batch latency (whole batch, not per key).
+    pub multi_get_latency: Histogram,
     /// Cross-layer write-stall accounting (per-op breakdowns + the
     /// controller-transition event log).
     pub stall: Arc<StallAccounting>,
@@ -91,6 +101,8 @@ impl DbStats {
             wal_append: Histogram::new(),
             flush_duration: Histogram::new(),
             compaction_duration: Histogram::new(),
+            subcompaction_duration: Histogram::new(),
+            multi_get_latency: Histogram::new(),
             stall: Arc::new(StallAccounting::default()),
             waiting_writers: AtomicU64::new(0),
             waiting_sum: AtomicU64::new(0),
@@ -152,6 +164,7 @@ impl DbStats {
         self.write_latency.reset();
         self.write_queue_wait.reset();
         self.wal_append.reset();
+        self.multi_get_latency.reset();
         self.stall.reset_window();
         self.waiting_sum.store(0, Ordering::Relaxed);
         self.waiting_samples.store(0, Ordering::Relaxed);
@@ -196,6 +209,10 @@ pub struct Metrics {
     pub flush_duration: HistogramSummary,
     /// Compaction job durations.
     pub compaction_duration: HistogramSummary,
+    /// Per-subcompaction merge durations (empty while serial).
+    pub subcompaction_duration: HistogramSummary,
+    /// MultiGet batch latency.
+    pub multi_get_latency: HistogramSummary,
     /// Average queued writer threads (Fig. 16 metric).
     pub avg_waiting_writers: f64,
     /// Aggregate per-op stall breakdown totals.

@@ -94,6 +94,48 @@ impl Version {
             .cloned()
     }
 
+    /// Groups point-lookup keys by the SST files that may hold them — the
+    /// unit of work [`crate::Db::multi_get`] fans out across probe threads.
+    /// Each `(slot, key)` pair carries the caller's result index. Groups
+    /// come back in deterministic order: every covering Level-0 file
+    /// (newest first), then for each deeper level the single candidate file
+    /// per key, grouped so one file is probed once per batch.
+    pub fn probe_groups(
+        &self,
+        keys: &[(usize, &[u8])],
+    ) -> Vec<(usize, Arc<FileMetaData>, Vec<usize>)> {
+        let mut groups = Vec::new();
+        for f in &self.levels[0] {
+            let slots: Vec<usize> = keys
+                .iter()
+                .filter(|(_, k)| f.may_contain_user_key(k))
+                .map(|(slot, _)| *slot)
+                .collect();
+            if !slots.is_empty() {
+                groups.push((0, Arc::clone(f), slots));
+            }
+        }
+        for level in 1..self.levels.len() {
+            if self.levels[level].is_empty() {
+                continue;
+            }
+            // `(file position in level) -> slots`, iterated in file order.
+            let mut per_file: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (slot, key) in keys {
+                let files = &self.levels[level];
+                let idx = files.partition_point(|f| user_key(&f.largest) < *key);
+                if files.get(idx).is_some_and(|f| f.may_contain_user_key(key)) {
+                    per_file.entry(idx).or_default().push(*slot);
+                }
+            }
+            for (idx, slots) in per_file {
+                groups.push((level, Arc::clone(&self.levels[level][idx]), slots));
+            }
+        }
+        groups
+    }
+
     /// Compaction score per RocksDB's leveled policy: L0 by file count,
     /// deeper levels by size vs. target. Returns `(level, score)` of the
     /// neediest level; a score ≥ 1.0 warrants compaction.

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench artifacts (currently the device-parallelism
+# probe). Full-size by default; XLSM_QUICK=1 for a fast smoke run — note the
+# committed BENCH_parallelism.json is the full-size output, so don't commit
+# a quick-mode regeneration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> parallelism probe -> BENCH_parallelism.json"
+cargo run -q --release -p xlsm-bench --bin parallelism -- BENCH_parallelism.json
+
+echo "==> done"

@@ -18,4 +18,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> determinism: parallelism probe twice with one seed, byte-identical JSON"
+par_a="$(mktemp)" par_b="$(mktemp)"
+trap 'rm -f "$par_a" "$par_b"' EXIT
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_a" >/dev/null
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_b" >/dev/null
+cmp "$par_a" "$par_b"
+
 echo "==> all checks passed"
