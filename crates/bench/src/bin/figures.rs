@@ -19,7 +19,7 @@ fn main() {
         eprintln!(
             "usage: figures [--quick] <all | fig01 | fig03 | fig04 | fig05 | fig06 | fig07 | \
              fig08 | fig09 | fig10 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | \
-             fig19 | fig20 | stalls | ext_skew | parallelism> ..."
+             fig19 | fig20 | stalls | ext_skew | parallelism | writepath> ..."
         );
         std::process::exit(2);
     }
@@ -96,6 +96,9 @@ fn main() {
     }
     if want("parallelism") {
         emit(figures::fig_parallelism(&cfg));
+    }
+    if want("writepath") {
+        emit(figures::fig_writepath(&cfg));
     }
 
     if count == 0 {

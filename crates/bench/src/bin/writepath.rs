@@ -1,0 +1,39 @@
+//! Write-path probe: put latency p50/p99 and writer-queue depth vs writer
+//! count, serial vs concurrent memtable apply, emitted as deterministic
+//! JSON.
+//!
+//! ```text
+//! cargo run -p xlsm-bench --release --bin writepath -- [out.json]
+//! XLSM_QUICK=1 cargo run -p xlsm-bench --release --bin writepath
+//! ```
+//!
+//! The output carries no timestamps or wall-clock data: two runs with the
+//! same seed must produce byte-identical files (`scripts/check.sh` enforces
+//! this).
+
+use xlsm_bench::common::BenchConfig;
+use xlsm_bench::writepath;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_writepath.json".to_string());
+    let cfg = BenchConfig::from_env();
+    eprintln!(
+        "[writepath] config: {} keys x {} B, seed {:#x}",
+        cfg.key_count, cfg.value_size, cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let report = writepath::run(&cfg);
+    for (_, table) in report.tables() {
+        println!("{table}");
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("[writepath] failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[writepath] wrote {out} in {:.1}s wall",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -635,6 +635,15 @@ pub fn fig_parallelism(cfg: &BenchConfig) -> Vec<Figure> {
     crate::parallelism::run(cfg).tables()
 }
 
+/// Extension experiment: put latency and writer-queue depth vs writer
+/// count, serial vs concurrent memtable apply — Finding #3's software
+/// bottleneck and RocksDB's `allow_concurrent_memtable_write` answer to
+/// it, measured on all three devices. Details and the JSON probe live in
+/// [`crate::writepath`].
+pub fn fig_writepath(cfg: &BenchConfig) -> Vec<Figure> {
+    crate::writepath::run(cfg).tables()
+}
+
 /// Every figure in paper order. This is what `figures all` runs.
 pub fn all_figures(cfg: &BenchConfig) -> Vec<Figure> {
     let mut out = Vec::new();

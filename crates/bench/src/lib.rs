@@ -18,12 +18,14 @@
 //! | [`fig20`] | Fig. 20 | WAL placement: SSD vs NVM vs disabled |
 //! | [`fig_stalls`] | Figs. 6/7 (stall view) | cross-layer stall timeline + write-time breakdown |
 //! | [`fig_parallelism`] | extension (§VI) | subcompaction drain throughput + batched MultiGet |
+//! | [`fig_writepath`] | Figs. 15–16 (fix) | serial vs concurrent memtable apply vs writer count |
 
 #![warn(missing_docs)]
 
 pub mod common;
 pub mod figures;
 pub mod parallelism;
+pub mod writepath;
 
 pub use common::BenchConfig;
 pub use figures::*;

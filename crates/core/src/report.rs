@@ -96,7 +96,8 @@ fn ms(ns: u64) -> f64 {
 
 /// Builds the per-mechanism write-time attribution table from the engine's
 /// stall-accounting totals: one row per component (queue wait, WAL append,
-/// memtable insert, delay pacing, stop wait), each with its total time and
+/// pipeline wait, memtable insert, delay pacing, stop wait), each with its
+/// total time and
 /// share of observed end-to-end write latency, plus the unattributed
 /// remainder and the coverage summary the reconciliation tests assert on.
 pub fn stall_breakdown_table(title: &str, t: &StallTotals) -> Table {
@@ -112,6 +113,7 @@ pub fn stall_breakdown_table(title: &str, t: &StallTotals) -> Table {
     for (name, ns) in [
         ("queue-wait", t.queue_wait_ns),
         ("wal-append", t.wal_append_ns),
+        ("pipeline-wait", t.pipeline_wait_ns),
         ("memtable-insert", t.memtable_insert_ns),
         ("delay-sleep", t.delay_sleep_ns),
         ("stop-wait", t.stop_wait_ns),
@@ -188,7 +190,8 @@ mod tests {
             ops: 4,
             total_write_ns: 1_000_000,
             queue_wait_ns: 400_000,
-            wal_append_ns: 100_000,
+            wal_append_ns: 60_000,
+            pipeline_wait_ns: 40_000,
             memtable_insert_ns: 100_000,
             delay_sleep_ns: 200_000,
             stop_wait_ns: 100_000,
@@ -196,8 +199,8 @@ mod tests {
             events_dropped: 0,
         };
         let table = stall_breakdown_table("breakdown", &t);
-        // 5 components + unattributed + total + ops summary.
-        assert_eq!(table.rows.len(), 8);
+        // 6 components + unattributed + total + ops summary.
+        assert_eq!(table.rows.len(), 9);
         let row = |name: &str| {
             table
                 .rows

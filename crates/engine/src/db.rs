@@ -323,6 +323,12 @@ impl DbInner {
         } else {
             (None, self.versions.new_file_number())
         };
+        // Hold the memtable-stage permit across the swap: a concurrent
+        // write group's members each apply straight into `mutable`, and
+        // rotating it mid-group would strand part of the group in a
+        // memtable that flush is already iterating. Callers (preprocess,
+        // Db::flush) never hold the permit here, so this cannot deadlock.
+        self.queue.lock_mem_stage();
         let new_mem = {
             let mut mem = self.mem.lock();
             mem.next_mem_id += 1;
@@ -334,6 +340,7 @@ impl DbInner {
             mem.immutables.push((old_mem, old_wal_number));
             new_mem
         };
+        self.queue.unlock_mem_stage();
         let _ = new_mem;
         self.update_stall_conditions();
         self.schedule_flush();
@@ -751,6 +758,14 @@ impl WriteBackend for DbBackend {
         self.inner.versions.allocate_sequences(count)
     }
 
+    fn reserve_seq(&self, count: u64) -> u64 {
+        self.inner.versions.reserve_sequences(count)
+    }
+
+    fn publish_seq(&self, last: u64) {
+        self.inner.versions.publish_sequence(last);
+    }
+
     fn write_wal(&self, group: &WriteBatch) -> DbResult<()> {
         if !self.inner.opts.enable_wal {
             return Ok(());
@@ -785,6 +800,24 @@ impl WriteBackend for DbBackend {
         let per_insert = costs::skiplist_insert_ns(entries.max(1), bytes.max(1));
         xlsm_sim::sleep_nanos(per_insert * group.count() as u64);
         group.apply_to(&mem)
+    }
+
+    fn write_memtable_member(&self, batch: &WriteBatch) -> DbResult<()> {
+        let mem = {
+            let state = self.inner.mem.lock();
+            Arc::clone(&state.mutable)
+        };
+        let entries = mem.num_entries();
+        let bytes = mem.approximate_bytes() as u64;
+        let per_insert = costs::skiplist_insert_ns(entries.max(1), bytes.max(1));
+        for (seq, op) in (batch.sequence()..).zip(batch.iter()) {
+            let (t, key, value) = op?;
+            // The per-insert CPU cost is charged inside the concurrent
+            // insert, between splice location and CAS linking, so members'
+            // costs overlap in virtual time (and CAS retries are real).
+            mem.add_concurrent(seq, t, key, value, per_insert);
+        }
+        Ok(())
     }
 }
 
@@ -894,7 +927,11 @@ impl Db {
         controller.attach_accounting(Arc::clone(&stats.stall));
         let inner = Arc::new(DbInner {
             controller,
-            queue: WriteQueue::new(opts.pipelined_write, opts.max_write_batch_group_size),
+            queue: WriteQueue::new(opts.pipelined_write, opts.max_write_batch_group_size)
+                .with_concurrent_apply(
+                    opts.allow_concurrent_memtable_write,
+                    opts.concurrent_apply_min_batches,
+                ),
             write_buffer_size: AtomicUsize::new(opts.write_buffer_size),
             l0_trigger_override: AtomicUsize::new(0),
             mem: parking_lot::Mutex::new(MemState {
@@ -1458,6 +1495,8 @@ impl Db {
             get_latency: stats.get_latency.summary(),
             write_latency: stats.write_latency.summary(),
             write_queue_wait: stats.write_queue_wait.summary(),
+            write_group_batches: stats.write_group_batches.summary(),
+            write_group_bytes: stats.write_group_bytes.summary(),
             wal_append: stats.wal_append.summary(),
             flush_duration: stats.flush_duration.summary(),
             compaction_duration: stats.compaction_duration.summary(),

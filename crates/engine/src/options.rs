@@ -62,6 +62,19 @@ pub struct DbOptions {
     pub pipelined_write: bool,
     /// Maximum bytes gathered into one write batch group.
     pub max_write_batch_group_size: usize,
+    /// Concurrent memtable writes: group members insert their own
+    /// sub-batches into the memtable in parallel (RocksDB's
+    /// `allow_concurrent_memtable_write`) instead of the leader serially
+    /// applying the merged group. The group's last sequence is published
+    /// only after a `write_done_count` barrier, so readers never observe a
+    /// half-applied group. This is the software-side fix for the paper's
+    /// Finding #3: on 3D XPoint the serial memtable stage — not the device
+    /// — dominates write tail latency.
+    pub allow_concurrent_memtable_write: bool,
+    /// Minimum member batches in a group before it takes the concurrent
+    /// apply path; smaller groups stay serial (barrier overhead isn't worth
+    /// paying for one or two batches).
+    pub concurrent_apply_min_batches: usize,
     /// Write a WAL record for each batch.
     pub enable_wal: bool,
     /// fsync the WAL on every commit (paper and db_bench default: off).
@@ -106,6 +119,10 @@ impl fmt::Debug for DbOptions {
                 ),
             )
             .field("pipelined_write", &self.pipelined_write)
+            .field(
+                "allow_concurrent_memtable_write",
+                &self.allow_concurrent_memtable_write,
+            )
             .field("enable_wal", &self.enable_wal)
             .field("bloom_bits_per_key", &self.bloom_bits_per_key)
             .finish_non_exhaustive()
@@ -134,6 +151,8 @@ impl Default for DbOptions {
             block_cache_capacity: 2 << 20,
             pipelined_write: true,
             max_write_batch_group_size: 1 << 20,
+            allow_concurrent_memtable_write: false, // RocksDB 5.17 db_bench default
+            concurrent_apply_min_batches: 2,
             enable_wal: true,
             wal_sync: false,
             wal_bytes_per_sync: 16 << 10, // 512 KB / 32 (scaled, like the rest of the geometry)
@@ -188,6 +207,9 @@ impl DbOptions {
         }
         if self.multi_get_parallelism == 0 {
             return Err("multi_get_parallelism must be >= 1".into());
+        }
+        if self.concurrent_apply_min_batches == 0 {
+            return Err("concurrent_apply_min_batches must be >= 1".into());
         }
         if self.max_open_files != 0 && self.max_open_files < 16 {
             return Err("max_open_files must be 0 (unbounded) or >= 16".into());

@@ -76,15 +76,19 @@ pub struct StallEvent {
 /// Per-operation attribution of a write's end-to-end latency.
 ///
 /// Each field is the nanoseconds one mechanism contributed to this write.
-/// `memtable_insert_ns` includes any wait to enter the serialized memtable
-/// stage (Algorithm 2's pipeline handoff).
+/// The wait to *enter* the serialized memtable stage (Algorithm 2's
+/// pipeline handoff) is reported separately as `pipeline_wait_ns`, so
+/// queue pressure is never misattributed to memtable insert cost.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WriteBreakdown {
     /// Queued behind other writers before this write's group committed.
     pub queue_wait_ns: u64,
     /// WAL append (group-level; shared by every member of the group).
     pub wal_append_ns: u64,
-    /// Memtable insertion, including the pipeline-stage wait.
+    /// Waiting to enter the memtable stage behind the previous group
+    /// (Algorithm 2's pipeline handoff semaphore).
+    pub pipeline_wait_ns: u64,
+    /// Memtable insertion proper (the stage itself, pipeline wait excluded).
     pub memtable_insert_ns: u64,
     /// Algorithm 1 delay pacing (`DELAYWRITE` sleeps).
     pub delay_sleep_ns: u64,
@@ -97,6 +101,7 @@ impl WriteBreakdown {
     pub fn accounted_ns(&self) -> u64 {
         self.queue_wait_ns
             + self.wal_append_ns
+            + self.pipeline_wait_ns
             + self.memtable_insert_ns
             + self.delay_sleep_ns
             + self.stop_wait_ns
@@ -125,7 +130,9 @@ pub struct StallTotals {
     pub queue_wait_ns: u64,
     /// Summed WAL append time.
     pub wal_append_ns: u64,
-    /// Summed memtable insertion (incl. pipeline-stage wait).
+    /// Summed pipeline-stage (memtable-stage handoff) wait.
+    pub pipeline_wait_ns: u64,
+    /// Summed memtable insertion (pipeline wait excluded).
     pub memtable_insert_ns: u64,
     /// Summed delay-pacing sleep.
     pub delay_sleep_ns: u64,
@@ -142,6 +149,7 @@ impl StallTotals {
     pub fn accounted_ns(&self) -> u64 {
         self.queue_wait_ns
             + self.wal_append_ns
+            + self.pipeline_wait_ns
             + self.memtable_insert_ns
             + self.delay_sleep_ns
             + self.stop_wait_ns
@@ -164,6 +172,7 @@ pub struct StallAccounting {
     total_write_ns: AtomicU64,
     queue_wait_ns: AtomicU64,
     wal_append_ns: AtomicU64,
+    pipeline_wait_ns: AtomicU64,
     memtable_insert_ns: AtomicU64,
     delay_sleep_ns: AtomicU64,
     stop_wait_ns: AtomicU64,
@@ -199,6 +208,7 @@ impl StallAccounting {
             total_write_ns: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             wal_append_ns: AtomicU64::new(0),
+            pipeline_wait_ns: AtomicU64::new(0),
             memtable_insert_ns: AtomicU64::new(0),
             delay_sleep_ns: AtomicU64::new(0),
             stop_wait_ns: AtomicU64::new(0),
@@ -219,6 +229,8 @@ impl StallAccounting {
             .fetch_add(bd.queue_wait_ns, Ordering::Relaxed);
         self.wal_append_ns
             .fetch_add(bd.wal_append_ns, Ordering::Relaxed);
+        self.pipeline_wait_ns
+            .fetch_add(bd.pipeline_wait_ns, Ordering::Relaxed);
         self.memtable_insert_ns
             .fetch_add(bd.memtable_insert_ns, Ordering::Relaxed);
         self.delay_sleep_ns
@@ -256,6 +268,7 @@ impl StallAccounting {
             total_write_ns: self.total_write_ns.load(Ordering::Relaxed),
             queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
             wal_append_ns: self.wal_append_ns.load(Ordering::Relaxed),
+            pipeline_wait_ns: self.pipeline_wait_ns.load(Ordering::Relaxed),
             memtable_insert_ns: self.memtable_insert_ns.load(Ordering::Relaxed),
             delay_sleep_ns: self.delay_sleep_ns.load(Ordering::Relaxed),
             stop_wait_ns: self.stop_wait_ns.load(Ordering::Relaxed),
@@ -272,6 +285,7 @@ impl StallAccounting {
         self.total_write_ns.store(0, Ordering::Relaxed);
         self.queue_wait_ns.store(0, Ordering::Relaxed);
         self.wal_append_ns.store(0, Ordering::Relaxed);
+        self.pipeline_wait_ns.store(0, Ordering::Relaxed);
         self.memtable_insert_ns.store(0, Ordering::Relaxed);
         self.delay_sleep_ns.store(0, Ordering::Relaxed);
         self.stop_wait_ns.store(0, Ordering::Relaxed);
@@ -301,7 +315,8 @@ mod tests {
         let bd = WriteBreakdown {
             queue_wait_ns: 10,
             wal_append_ns: 20,
-            memtable_insert_ns: 30,
+            pipeline_wait_ns: 12,
+            memtable_insert_ns: 18,
             delay_sleep_ns: 40,
             stop_wait_ns: 0,
         };

@@ -47,6 +47,9 @@ pub enum Ticker {
     MultiGetBatches,
     MultiGetKeys,
     MultiGetProbeThreads,
+    /// Write-group member batches applied to the memtable *concurrently*
+    /// (on the member's own thread, `allow_concurrent_memtable_write`).
+    ConcurrentMemtableApplies,
     TickerCount, // sentinel
 }
 
@@ -73,6 +76,11 @@ pub struct DbStats {
     pub subcompaction_duration: Histogram,
     /// Client-visible MultiGet batch latency (whole batch, not per key).
     pub multi_get_latency: Histogram,
+    /// Batches per committed write group (group-commit effectiveness; a
+    /// deep queue on a fast device shows up as large groups here).
+    pub write_group_batches: Histogram,
+    /// Bytes per committed write group.
+    pub write_group_bytes: Histogram,
     /// Cross-layer write-stall accounting (per-op breakdowns + the
     /// controller-transition event log).
     pub stall: Arc<StallAccounting>,
@@ -103,6 +111,8 @@ impl DbStats {
             compaction_duration: Histogram::new(),
             subcompaction_duration: Histogram::new(),
             multi_get_latency: Histogram::new(),
+            write_group_batches: Histogram::new(),
+            write_group_bytes: Histogram::new(),
             stall: Arc::new(StallAccounting::default()),
             waiting_writers: AtomicU64::new(0),
             waiting_sum: AtomicU64::new(0),
@@ -165,6 +175,8 @@ impl DbStats {
         self.write_queue_wait.reset();
         self.wal_append.reset();
         self.multi_get_latency.reset();
+        self.write_group_batches.reset();
+        self.write_group_bytes.reset();
         self.stall.reset_window();
         self.waiting_sum.store(0, Ordering::Relaxed);
         self.waiting_samples.store(0, Ordering::Relaxed);
@@ -213,6 +225,10 @@ pub struct Metrics {
     pub subcompaction_duration: HistogramSummary,
     /// MultiGet batch latency.
     pub multi_get_latency: HistogramSummary,
+    /// Batches per committed write group.
+    pub write_group_batches: HistogramSummary,
+    /// Bytes per committed write group.
+    pub write_group_bytes: HistogramSummary,
     /// Average queued writer threads (Fig. 16 metric).
     pub avg_waiting_writers: f64,
     /// Aggregate per-op stall breakdown totals.

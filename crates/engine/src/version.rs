@@ -318,7 +318,12 @@ pub struct VersionSet {
     live: parking_lot::Mutex<Vec<Weak<Version>>>,
     manifest: parking_lot::Mutex<FileHandle>,
     next_file: AtomicU64,
+    /// Highest sequence number *visible to readers*. Trails
+    /// `next_sequence` while a concurrent-memtable write group is between
+    /// reservation and its `write_done_count` barrier.
     last_sequence: AtomicU64,
+    /// Sequence allocator (highest sequence ever handed out).
+    next_sequence: AtomicU64,
     log_number: AtomicU64,
     num_levels: usize,
 }
@@ -359,6 +364,7 @@ impl VersionSet {
             manifest: parking_lot::Mutex::new(manifest),
             next_file: AtomicU64::new(1),
             last_sequence: AtomicU64::new(0),
+            next_sequence: AtomicU64::new(0),
             log_number: AtomicU64::new(0),
             num_levels: opts.num_levels,
         };
@@ -404,6 +410,7 @@ impl VersionSet {
             manifest: parking_lot::Mutex::new(manifest),
             next_file: AtomicU64::new(next_file),
             last_sequence: AtomicU64::new(last_seq),
+            next_sequence: AtomicU64::new(last_seq),
             log_number: AtomicU64::new(log_number),
             num_levels: opts.num_levels,
         })
@@ -419,15 +426,31 @@ impl VersionSet {
         self.next_file.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Last durable-ordering sequence number.
+    /// Last *published* (reader-visible) sequence number.
     pub fn last_sequence(&self) -> u64 {
-        self.last_sequence.load(Ordering::Relaxed)
+        self.last_sequence.load(Ordering::Acquire)
     }
 
-    /// Advances the sequence counter by `n`, returning the *first* sequence
-    /// of the reserved range.
+    /// Advances the sequence allocator by `n` and publishes the whole range
+    /// immediately, returning the *first* sequence of the reserved range
+    /// (the serial write path: allocation and visibility coincide).
     pub fn allocate_sequences(&self, n: u64) -> u64 {
-        self.last_sequence.fetch_add(n, Ordering::Relaxed) + 1
+        let first = self.reserve_sequences(n);
+        self.publish_sequence(first + n - 1);
+        first
+    }
+
+    /// Advances the sequence allocator by `n` *without* publishing,
+    /// returning the first sequence of the range. The caller publishes via
+    /// [`VersionSet::publish_sequence`] once the whole group is applied, so
+    /// readers never snapshot into a half-applied write group.
+    pub fn reserve_sequences(&self, n: u64) -> u64 {
+        self.next_sequence.fetch_add(n, Ordering::AcqRel) + 1
+    }
+
+    /// Makes every sequence up to `seq` visible to readers (monotonic).
+    pub fn publish_sequence(&self, seq: u64) {
+        self.last_sequence.fetch_max(seq, Ordering::AcqRel);
     }
 
     /// WAL low-watermark.

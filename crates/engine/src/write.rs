@@ -1,5 +1,6 @@
 //! The writer queue: group commit and the paper's **Algorithm 2**
-//! (pipelined write process).
+//! (pipelined write process), plus RocksDB's answer to Finding #3:
+//! concurrent memtable writes.
 //!
 //! RocksDB keeps *one* write-thread queue. The writer at the head becomes
 //! the **leader** of a batch group: it merges the queued batches (up to
@@ -13,13 +14,21 @@
 //! This queue is where the paper's Finding #3 lives: on 3D XPoint, reads
 //! complete quickly, client threads come back to write sooner, the queue
 //! grows, and write tail latency *exceeds* the SATA flash SSD despite the
-//! faster device (Figs. 15–16).
+//! faster device (Figs. 15–16) — because one leader thread serially inserts
+//! the whole merged group. With **concurrent memtable writes** enabled
+//! (`allow_concurrent_memtable_write`), the leader still writes one WAL
+//! record for the group but does *not* merge follower batches into the
+//! memtable stage: each member applies its own sub-batch — with its own
+//! pre-allocated sequence range — on its own sim thread, and a
+//! `write_done_count` barrier holds the group's sequence publication until
+//! every member finished, so readers never observe a half-applied group.
 
 use crate::batch::WriteBatch;
 use crate::error::{DbError, DbResult};
 use crate::stall::{PreprocessStalls, WriteBreakdown};
 use crate::stats::{DbStats, Ticker};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
 use std::sync::Arc;
 use xlsm_sim::sync::{Semaphore, WaitSet};
 use xlsm_sim::Nanos;
@@ -34,24 +43,86 @@ pub trait WriteBackend: Send + Sync {
     ///
     /// Shutdown or filesystem failures abort the group.
     fn preprocess(&self, group_bytes: u64) -> DbResult<PreprocessStalls>;
-    /// Reserves `count` consecutive sequence numbers; returns the first.
+    /// Reserves `count` consecutive sequence numbers and makes them visible
+    /// to readers immediately (the serial path, where the group is fully
+    /// applied before anyone learns its sequences); returns the first.
     fn allocate_seq(&self, count: u64) -> u64;
+    /// Reserves `count` consecutive sequence numbers *without* publishing
+    /// them; the queue calls [`WriteBackend::publish_seq`] after the
+    /// group's `write_done_count` barrier. Backends that don't distinguish
+    /// reservation from publication fall back to [`WriteBackend::allocate_seq`].
+    fn reserve_seq(&self, count: u64) -> u64 {
+        self.allocate_seq(count)
+    }
+    /// Publishes every sequence up to `last` to readers (no-op by default).
+    fn publish_seq(&self, _last: u64) {}
     /// Appends the group's WAL record.
     ///
     /// # Errors
     ///
     /// Filesystem failures abort the group.
     fn write_wal(&self, group: &WriteBatch) -> DbResult<()>;
-    /// Applies the group to the memtable (charging CPU costs).
+    /// Applies the merged group to the memtable (charging CPU costs) — the
+    /// serial memtable stage.
     ///
     /// # Errors
     ///
     /// Corruption in the encoded batch.
     fn write_memtable(&self, group: &WriteBatch) -> DbResult<()>;
+    /// Applies *one member's* sub-batch, called on the member's own sim
+    /// thread inside the concurrent memtable stage. Defaults to the serial
+    /// apply, which is correct (just not overlapped) for simple backends.
+    ///
+    /// # Errors
+    ///
+    /// Corruption in the encoded batch.
+    fn write_memtable_member(&self, batch: &WriteBatch) -> DbResult<()> {
+        self.write_memtable(batch)
+    }
+}
+
+/// Coordination for one concurrently-applied write group: RocksDB's
+/// `write_done_count` barrier. Every member (leader included) decrements
+/// once its sub-batch is in the memtable; the leader waits for zero before
+/// publishing the group's last sequence and completing the group.
+struct GroupSync {
+    write_done: AtomicUsize,
+    done: WaitSet,
+    error: parking_lot::Mutex<Option<DbError>>,
+}
+
+impl GroupSync {
+    fn new(members: usize) -> Arc<GroupSync> {
+        Arc::new(GroupSync {
+            write_done: AtomicUsize::new(members),
+            done: WaitSet::new("group-apply-barrier"),
+            error: parking_lot::Mutex::new(None),
+        })
+    }
+
+    /// Records one member's apply result and trips the barrier when last.
+    fn finish(&self, r: DbResult<()>) {
+        if let Err(e) = r {
+            self.error.lock().get_or_insert(e);
+        }
+        if self.write_done.fetch_sub(1, AtOrd::AcqRel) == 1 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A follower's concurrent-apply assignment: its own sequence-stamped
+/// sub-batch plus the group barrier to report into.
+struct ApplyJob {
+    batch: WriteBatch,
+    sync: Arc<GroupSync>,
 }
 
 struct Writer {
     batch: parking_lot::Mutex<Option<WriteBatch>>,
+    /// Set by the leader in concurrent-memtable mode; the follower applies
+    /// the job on its own thread instead of idling out the memtable stage.
+    apply: parking_lot::Mutex<Option<ApplyJob>>,
     result: parking_lot::Mutex<Option<DbResult<()>>>,
     wake: WaitSet,
     /// When this writer joined the queue (for queue-wait attribution).
@@ -62,6 +133,7 @@ impl Writer {
     fn new(batch: WriteBatch) -> Arc<Writer> {
         Arc::new(Writer {
             batch: parking_lot::Mutex::new(Some(batch)),
+            apply: parking_lot::Mutex::new(None),
             result: parking_lot::Mutex::new(None),
             wake: WaitSet::new("writer"),
             enqueued_at: xlsm_sim::now_nanos(),
@@ -74,6 +146,10 @@ pub struct WriteQueue {
     queue: parking_lot::Mutex<VecDeque<Arc<Writer>>>,
     mem_stage: Semaphore,
     pipelined: bool,
+    /// Concurrent memtable writes (`allow_concurrent_memtable_write`).
+    concurrent: bool,
+    /// Minimum member batches before a group takes the concurrent path.
+    concurrent_min_batches: usize,
     max_group_bytes: usize,
 }
 
@@ -82,24 +158,49 @@ impl std::fmt::Debug for WriteQueue {
         f.debug_struct("WriteQueue")
             .field("queued", &self.queue.lock().len())
             .field("pipelined", &self.pipelined)
+            .field("concurrent", &self.concurrent)
             .finish()
     }
 }
 
 impl WriteQueue {
-    /// Creates the queue.
+    /// Creates the queue (serial memtable stage).
     pub fn new(pipelined: bool, max_group_bytes: usize) -> WriteQueue {
         WriteQueue {
             queue: parking_lot::Mutex::new(VecDeque::new()),
             mem_stage: Semaphore::new("memtable-stage", 1),
             pipelined,
+            concurrent: false,
+            concurrent_min_batches: 2,
             max_group_bytes,
         }
+    }
+
+    /// Enables concurrent memtable writes: groups of at least
+    /// `min_batches` members apply per-member on their own threads.
+    #[must_use]
+    pub fn with_concurrent_apply(mut self, enabled: bool, min_batches: usize) -> WriteQueue {
+        self.concurrent = enabled;
+        self.concurrent_min_batches = min_batches.max(1);
+        self
     }
 
     /// Writers currently queued (Fig. 16's instantaneous value).
     pub fn queued(&self) -> usize {
         self.queue.lock().len()
+    }
+
+    /// Acquires the memtable-stage permit, excluding every in-flight
+    /// group apply (serial or concurrent). `switch_memtable` holds this
+    /// while rotating the mutable memtable so a switch can never strand
+    /// half of a write group in a memtable that flush already iterates.
+    pub(crate) fn lock_mem_stage(&self) {
+        self.mem_stage.acquire(1);
+    }
+
+    /// Releases the permit taken by [`WriteQueue::lock_mem_stage`].
+    pub(crate) fn unlock_mem_stage(&self) {
+        self.mem_stage.release(1);
     }
 
     fn is_front(&self, w: &Arc<Writer>) -> bool {
@@ -124,11 +225,17 @@ impl WriteQueue {
         }
         stats.writer_waiting_inc();
 
-        // Wait until we are either committed by a leader or become leader.
+        // Wait until we are committed by a leader, become leader, or get
+        // handed our own sub-batch to apply (concurrent memtable mode).
         loop {
             if let Some(result) = me.result.lock().clone() {
                 stats.bump(Ticker::WritesJoinedGroup);
                 return result;
+            }
+            let job = me.apply.lock().take();
+            if let Some(job) = job {
+                job.sync.finish(backend.write_memtable_member(&job.batch));
+                continue; // the leader completes us after the barrier
             }
             if self.is_front(&me) {
                 break;
@@ -138,8 +245,8 @@ impl WriteQueue {
 
         // --- We are the leader. ---
         stats.bump(Ticker::WriteGroupsLed);
-        let (group, members) = self.build_group(&me);
-        let result = self.commit_group(group, &members, backend, stats);
+        let (batches, members) = self.build_group(&me);
+        let result = self.commit_group(batches, &members, backend, stats);
         for m in &members {
             if !Arc::ptr_eq(m, &me) {
                 *m.result.lock() = Some(result.clone());
@@ -151,13 +258,18 @@ impl WriteQueue {
     }
 
     /// Collects the batch group starting at the queue head (which must be
-    /// `leader`). Batches are *moved out* of the member writers.
-    fn build_group(&self, leader: &Arc<Writer>) -> (WriteBatch, Vec<Arc<Writer>>) {
+    /// `leader`). Batches are *moved out* of the member writers — cheap
+    /// pointer moves only — while holding the queue mutex; the
+    /// O(group-bytes) merge happens in `commit_group` after the lock is
+    /// dropped, so enqueuing writers never serialize behind the leader's
+    /// memcpy.
+    fn build_group(&self, leader: &Arc<Writer>) -> (Vec<WriteBatch>, Vec<Arc<Writer>>) {
         let queue = self.queue.lock();
         debug_assert!(Arc::ptr_eq(queue.front().unwrap(), leader));
-        let mut group = leader.batch.lock().take().expect("leader batch taken");
+        let lead = leader.batch.lock().take().expect("leader batch taken");
+        let mut bytes = lead.byte_size();
+        let mut batches = vec![lead];
         let mut members = vec![Arc::clone(leader)];
-        let mut bytes = group.byte_size();
         for w in queue.iter().skip(1) {
             let mut slot = w.batch.lock();
             let size = slot.as_ref().map_or(0, WriteBatch::byte_size);
@@ -165,12 +277,12 @@ impl WriteQueue {
                 break;
             }
             if let Some(b) = slot.take() {
-                group.append_batch(&b);
+                batches.push(b);
                 bytes += size;
                 members.push(Arc::clone(w));
             }
         }
-        (group, members)
+        (batches, members)
     }
 
     /// Pops `members` off the queue head and wakes the next leader.
@@ -191,48 +303,91 @@ impl WriteQueue {
 
     fn commit_group(
         &self,
-        mut group: WriteBatch,
+        batches: Vec<WriteBatch>,
         members: &[Arc<Writer>],
         backend: &dyn WriteBackend,
         stats: &DbStats,
     ) -> DbResult<()> {
         let t_start = xlsm_sim::now_nanos();
-        let pre = match backend.preprocess(group.byte_size() as u64) {
+        let concurrent = self.concurrent && batches.len() >= self.concurrent_min_batches;
+        // Merge the group's WAL record outside the queue lock. The serial
+        // path consumes the member batches; the concurrent path keeps them,
+        // since each member will apply its own.
+        let (mut group, mut member_batches) = if concurrent {
+            let mut group = batches[0].clone();
+            for b in &batches[1..] {
+                group.append_batch(b);
+            }
+            (group, batches)
+        } else {
+            let mut it = batches.into_iter();
+            let mut group = it.next().expect("group has a leader batch");
+            for b in it {
+                group.append_batch(&b);
+            }
+            (group, Vec::new())
+        };
+        let group_bytes = group.byte_size();
+        let pre = match backend.preprocess(group_bytes as u64) {
             Ok(pre) => pre,
             Err(e) => {
                 self.pop_group(members, stats);
                 return Err(e);
             }
         };
-        let seq = backend.allocate_seq(group.count() as u64);
-        group.set_sequence(seq);
+        let total = u64::from(group.count());
+        // Concurrent groups only *reserve* their range here; it becomes
+        // visible after the barrier, so a reader snapshotting mid-apply
+        // cannot observe part of the group.
+        let first = if concurrent {
+            backend.reserve_seq(total)
+        } else {
+            backend.allocate_seq(total)
+        };
+        let last = first + total - 1;
+        group.set_sequence(first);
+        if concurrent {
+            let mut next = first;
+            for b in &mut member_batches {
+                b.set_sequence(next);
+                next += u64::from(b.count());
+            }
+        }
         let t_wal = xlsm_sim::now_nanos();
         if let Err(e) = backend.write_wal(&group) {
             self.pop_group(members, stats);
             return Err(e);
         }
-        let t_mem = xlsm_sim::now_nanos();
-        let wal_ns = t_mem - t_wal;
-        let r = if self.pipelined {
-            // Algorithm 2: acquire the memtable stage while still at the
-            // queue head (guarantees group-ordered memtable writes), then
-            // hand queue leadership over so the next group's WAL overlaps
-            // our memtable insertion.
-            self.mem_stage.acquire(1);
+        let t_stage = xlsm_sim::now_nanos();
+        let wal_ns = t_stage - t_wal;
+        // Algorithm 2: acquire the memtable stage while still at the queue
+        // head (guarantees group-ordered memtable writes). In pipelined
+        // mode, hand queue leadership over right away so the next group's
+        // WAL overlaps our memtable insertion.
+        self.mem_stage.acquire(1);
+        let t_apply = xlsm_sim::now_nanos();
+        let pipeline_wait_ns = t_apply - t_stage;
+        if self.pipelined {
             self.pop_group(members, stats);
-            let r = backend.write_memtable(&group);
-            self.mem_stage.release(1);
+        }
+        let r = if concurrent {
+            let r = self.apply_concurrent(member_batches, members, backend, stats);
+            if r.is_ok() {
+                backend.publish_seq(last);
+            }
             r
         } else {
-            let r = backend.write_memtable(&group);
-            self.pop_group(members, stats);
-            r
+            backend.write_memtable(&group)
         };
+        self.mem_stage.release(1);
+        if !self.pipelined {
+            self.pop_group(members, stats);
+        }
         if r.is_ok() {
             let t_done = xlsm_sim::now_nanos();
-            // `memtable_insert_ns` includes the pipeline-stage wait: both
-            // are time the group spent in the memtable stage.
-            let mem_ns = t_done - t_mem;
+            let mem_ns = t_done - t_apply;
+            stats.write_group_batches.record(members.len() as u64);
+            stats.write_group_bytes.record(group_bytes as u64);
             for m in members {
                 let queue_wait = t_start.saturating_sub(m.enqueued_at);
                 stats.write_queue_wait.record(queue_wait);
@@ -241,6 +396,7 @@ impl WriteQueue {
                     &WriteBreakdown {
                         queue_wait_ns: queue_wait,
                         wal_append_ns: wal_ns,
+                        pipeline_wait_ns,
                         memtable_insert_ns: mem_ns,
                         delay_sleep_ns: pre.delay_sleep_ns,
                         stop_wait_ns: pre.stop_wait_ns,
@@ -249,6 +405,40 @@ impl WriteQueue {
             }
         }
         r
+    }
+
+    /// The concurrent memtable stage: hands every follower its own
+    /// sequence-stamped sub-batch, applies the leader's on this thread, and
+    /// waits on the `write_done_count` barrier. Member insert costs overlap
+    /// in virtual time, which is exactly the serialization Finding #3
+    /// blames for the XPoint tail-latency inversion.
+    fn apply_concurrent(
+        &self,
+        mut batches: Vec<WriteBatch>,
+        members: &[Arc<Writer>],
+        backend: &dyn WriteBackend,
+        stats: &DbStats,
+    ) -> DbResult<()> {
+        debug_assert_eq!(batches.len(), members.len());
+        let sync = GroupSync::new(members.len());
+        stats.add(Ticker::ConcurrentMemtableApplies, members.len() as u64);
+        let leader_batch = batches.remove(0);
+        for (m, b) in members[1..].iter().zip(batches) {
+            *m.apply.lock() = Some(ApplyJob {
+                batch: b,
+                sync: Arc::clone(&sync),
+            });
+            m.wake.notify_all();
+        }
+        sync.finish(backend.write_memtable_member(&leader_batch));
+        while sync.write_done.load(AtOrd::Acquire) > 0 {
+            sync.done.wait();
+        }
+        let first_error = sync.error.lock().take();
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -279,14 +469,18 @@ mod tests {
     use xlsm_sim::Runtime;
 
     /// Test backend: applies to a memtable, counts WAL writes, optionally
-    /// sleeps in the WAL stage to create grouping/overlap windows.
+    /// sleeps in the WAL stage to create grouping/overlap windows. The
+    /// sequence counter distinguishes reservation from publication so the
+    /// barrier tests can observe the reader-visible watermark.
     struct TestBackend {
         mem: Arc<MemTable>,
         seq: AtomicU64,
+        published: AtomicU64,
         wal_records: AtomicU64,
         wal_delay_ns: u64,
         mem_delay_ns: u64,
         wal_bytes: AtomicU64,
+        member_applies: AtomicU64,
     }
 
     impl TestBackend {
@@ -294,10 +488,12 @@ mod tests {
             Arc::new(TestBackend {
                 mem: MemTable::new(0),
                 seq: AtomicU64::new(0),
+                published: AtomicU64::new(0),
                 wal_records: AtomicU64::new(0),
                 wal_delay_ns,
                 mem_delay_ns,
                 wal_bytes: AtomicU64::new(0),
+                member_applies: AtomicU64::new(0),
             })
         }
     }
@@ -307,7 +503,15 @@ mod tests {
             Ok(PreprocessStalls::default())
         }
         fn allocate_seq(&self, count: u64) -> u64 {
+            let first = self.reserve_seq(count);
+            self.publish_seq(first + count - 1);
+            first
+        }
+        fn reserve_seq(&self, count: u64) -> u64 {
             self.seq.fetch_add(count, Ordering::Relaxed) + 1
+        }
+        fn publish_seq(&self, last: u64) {
+            self.published.fetch_max(last, Ordering::Relaxed);
         }
         fn write_wal(&self, group: &WriteBatch) -> DbResult<()> {
             self.wal_records.fetch_add(1, Ordering::Relaxed);
@@ -319,10 +523,22 @@ mod tests {
             Ok(())
         }
         fn write_memtable(&self, group: &WriteBatch) -> DbResult<()> {
+            // Per-entry cost: the serial leader pays for the whole group.
             if self.mem_delay_ns > 0 {
-                xlsm_sim::sleep_nanos(self.mem_delay_ns);
+                xlsm_sim::sleep_nanos(self.mem_delay_ns * u64::from(group.count()));
             }
             group.apply_to(&self.mem)
+        }
+        fn write_memtable_member(&self, batch: &WriteBatch) -> DbResult<()> {
+            self.member_applies.fetch_add(1, Ordering::Relaxed);
+            if self.mem_delay_ns > 0 {
+                xlsm_sim::sleep_nanos(self.mem_delay_ns * u64::from(batch.count()));
+            }
+            for (seq, op) in (batch.sequence()..).zip(batch.iter()) {
+                let (t, key, value) = op?;
+                self.mem.add_concurrent(seq, t, key, value, 0);
+            }
+            Ok(())
         }
     }
 
@@ -456,6 +672,132 @@ mod tests {
         assert_eq!(t_pipe, 200_000);
     }
 
+    /// Concurrent memtable mode: a group of members each pays its own
+    /// memtable delay *in parallel* (overlapping virtual-time sleeps), so
+    /// the group's memtable stage costs ~one member delay instead of the
+    /// serial sum.
+    #[test]
+    fn concurrent_members_overlap_memtable_inserts() {
+        fn run(concurrent: bool) -> (u64, u64) {
+            Runtime::new().run(move || {
+                let q =
+                    Arc::new(WriteQueue::new(true, 1 << 20).with_concurrent_apply(concurrent, 2));
+                // Slow first WAL (one batch alone), then everyone else piles
+                // into one group behind it.
+                let be = TestBackend::new(50_000, 30_000);
+                let stats = Arc::new(DbStats::new());
+                let mut handles = Vec::new();
+                for i in 0..9u32 {
+                    let q = Arc::clone(&q);
+                    let be = Arc::clone(&be);
+                    let stats = Arc::clone(&stats);
+                    handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
+                        q.submit(
+                            batch_with(format!("k{i}").as_bytes(), b"v"),
+                            be.as_ref(),
+                            &stats,
+                        )
+                        .unwrap();
+                    }));
+                }
+                for h in handles {
+                    h.join();
+                }
+                for i in 0..9u32 {
+                    assert_eq!(
+                        be.mem.get(format!("k{i}").as_bytes(), 1000),
+                        Some(Some(b"v".to_vec())),
+                        "missing k{i}"
+                    );
+                }
+                (
+                    xlsm_sim::now_nanos(),
+                    stats.ticker(Ticker::ConcurrentMemtableApplies),
+                )
+            })
+        }
+        let (t_serial, applies_serial) = run(false);
+        let (t_conc, applies_conc) = run(true);
+        assert_eq!(applies_serial, 0);
+        assert!(
+            applies_conc >= 8,
+            "the 8-member group should apply concurrently: {applies_conc}"
+        );
+        assert!(
+            t_conc < t_serial,
+            "concurrent memtable stage must beat serial: {t_conc} vs {t_serial}"
+        );
+    }
+
+    /// The `write_done_count` barrier: the group's last sequence is only
+    /// published once every member's sub-batch is applied — never while a
+    /// member is still mid-insert.
+    #[test]
+    fn barrier_publishes_after_every_member_applied() {
+        Runtime::new().run(|| {
+            // min_batches = 1 so even the first writer's solo group defers
+            // publication to the barrier; otherwise the serial fallback
+            // publishes at allocation time and the invariant below only
+            // holds per-group, not globally.
+            let q = Arc::new(WriteQueue::new(true, 1 << 20).with_concurrent_apply(true, 1));
+            let be = TestBackend::new(50_000, 20_000);
+            let stats = Arc::new(DbStats::new());
+            let mut handles = Vec::new();
+            for i in 0..6u32 {
+                let q = Arc::clone(&q);
+                let be = Arc::clone(&be);
+                let stats = Arc::clone(&stats);
+                handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
+                    q.submit(
+                        batch_with(format!("k{i}").as_bytes(), b"v"),
+                        be.as_ref(),
+                        &stats,
+                    )
+                    .unwrap();
+                }));
+            }
+            // Observer: whenever sequences are published, every entry at or
+            // below the watermark must already be readable in the memtable.
+            let be2 = Arc::clone(&be);
+            let obs = xlsm_sim::spawn("observer", move || {
+                for _ in 0..60 {
+                    xlsm_sim::sleep_nanos(5_000);
+                    let published = be2.published.load(Ordering::Relaxed);
+                    let visible = be2.mem.num_entries();
+                    assert!(
+                        visible >= published,
+                        "published watermark {published} ahead of applied entries {visible}: \
+                         a reader could observe a half-applied group"
+                    );
+                }
+            });
+            for h in handles {
+                h.join();
+            }
+            obs.join();
+            assert_eq!(be.published.load(Ordering::Relaxed), 6);
+            assert_eq!(be.mem.num_entries(), 6);
+        });
+    }
+
+    /// Groups smaller than `concurrent_apply_min_batches` stay on the
+    /// serial path even with concurrent mode enabled.
+    #[test]
+    fn small_groups_fall_back_to_serial_apply() {
+        Runtime::new().run(|| {
+            let q = WriteQueue::new(true, 1 << 20).with_concurrent_apply(true, 2);
+            let be = TestBackend::new(0, 0);
+            let stats = DbStats::new();
+            q.submit(batch_with(b"k", b"v"), be.as_ref(), &stats)
+                .unwrap();
+            assert_eq!(stats.ticker(Ticker::ConcurrentMemtableApplies), 0);
+            assert_eq!(be.member_applies.load(Ordering::Relaxed), 0);
+            assert_eq!(be.mem.get(b"k", 100), Some(Some(b"v".to_vec())));
+            // Serial fallback still publishes through allocate_seq.
+            assert_eq!(be.published.load(Ordering::Relaxed), 1);
+        });
+    }
+
     #[test]
     fn leader_error_propagates_to_followers() {
         Runtime::new().run(|| {
@@ -496,10 +838,87 @@ mod tests {
         });
     }
 
+    /// A member apply failure in the concurrent stage fails the whole
+    /// group, and the sequence range is never published.
+    #[test]
+    fn member_error_fails_group_without_publishing() {
+        Runtime::new().run(|| {
+            struct MemberFail {
+                seq: AtomicU64,
+                published: AtomicU64,
+            }
+            impl WriteBackend for MemberFail {
+                fn preprocess(&self, _b: u64) -> DbResult<PreprocessStalls> {
+                    xlsm_sim::sleep_nanos(20_000); // let followers enqueue
+                    Ok(PreprocessStalls::default())
+                }
+                fn allocate_seq(&self, c: u64) -> u64 {
+                    let first = self.reserve_seq(c);
+                    self.publish_seq(first + c - 1);
+                    first
+                }
+                fn reserve_seq(&self, c: u64) -> u64 {
+                    self.seq.fetch_add(c, Ordering::Relaxed) + 1
+                }
+                fn publish_seq(&self, last: u64) {
+                    self.published.fetch_max(last, Ordering::Relaxed);
+                }
+                fn write_wal(&self, _g: &WriteBatch) -> DbResult<()> {
+                    Ok(())
+                }
+                fn write_memtable(&self, _g: &WriteBatch) -> DbResult<()> {
+                    Ok(())
+                }
+                fn write_memtable_member(&self, batch: &WriteBatch) -> DbResult<()> {
+                    if batch.sequence() > 1 {
+                        Err(DbError::Corruption("member apply failed".into()))
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+            let q = Arc::new(WriteQueue::new(true, 1 << 20).with_concurrent_apply(true, 2));
+            let be = Arc::new(MemberFail {
+                seq: AtomicU64::new(0),
+                published: AtomicU64::new(0),
+            });
+            let stats = Arc::new(DbStats::new());
+            // The first writer always leads a solo group (serial fallback,
+            // seq 1, succeeds); the next three pile up during its 20 µs
+            // preprocess and form one concurrent group whose members all
+            // fail (their sequences are > 1).
+            let mut handles = Vec::new();
+            for i in 0..4u32 {
+                let q = Arc::clone(&q);
+                let be = Arc::clone(&be);
+                let stats = Arc::clone(&stats);
+                handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
+                    q.submit(
+                        batch_with(format!("k{i}").as_bytes(), b"v"),
+                        be.as_ref(),
+                        &stats,
+                    )
+                }));
+            }
+            let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            assert!(results[0].is_ok(), "solo first group succeeds: {results:?}");
+            assert!(
+                results[1..].iter().all(Result::is_err),
+                "every member of the failed group errors: {results:?}"
+            );
+            assert_eq!(
+                be.published.load(Ordering::Relaxed),
+                1,
+                "the failed group must not publish its reserved sequences"
+            );
+            assert_eq!(q.queued(), 0);
+        });
+    }
+
     #[test]
     fn breakdowns_reconcile_with_observed_latency() {
-        // With no controller stalls, queue-wait + WAL + memtable must
-        // explain a writer's end-to-end latency exactly.
+        // With no controller stalls, queue-wait + WAL + pipeline-wait +
+        // memtable must explain a writer's end-to-end latency exactly.
         Runtime::new().run(|| {
             let q = Arc::new(WriteQueue::new(false, 1)); // no grouping
             let be = TestBackend::new(30_000, 20_000);
@@ -530,6 +949,48 @@ mod tests {
             );
             assert_eq!(stats.write_queue_wait.count(), 6);
             assert!(t.queue_wait_ns > 0, "later groups waited in the queue");
+        });
+    }
+
+    /// Pipelined mode with the memtable stage slower than the WAL: the
+    /// handoff wait lands in `pipeline_wait_ns`, not in
+    /// `memtable_insert_ns`, and the totals still reconcile exactly.
+    #[test]
+    fn pipeline_wait_is_split_from_memtable_insert() {
+        Runtime::new().run(|| {
+            let q = Arc::new(WriteQueue::new(true, 1)); // no grouping
+            let be = TestBackend::new(20_000, 50_000); // memtable-bound
+            let stats = Arc::new(DbStats::new());
+            let mut handles = Vec::new();
+            for i in 0..4u32 {
+                let q = Arc::clone(&q);
+                let be = Arc::clone(&be);
+                let stats = Arc::clone(&stats);
+                handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
+                    q.submit(
+                        batch_with(format!("k{i}").as_bytes(), b"v"),
+                        be.as_ref(),
+                        &stats,
+                    )
+                    .unwrap();
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let t = stats.stall.snapshot();
+            assert_eq!(t.ops, 4);
+            assert!(
+                t.pipeline_wait_ns > 0,
+                "memtable-bound pipeline must report handoff wait: {t:?}"
+            );
+            // Each group's memtable stage proper is exactly 50 µs.
+            assert_eq!(t.memtable_insert_ns, 4 * 50_000);
+            assert_eq!(
+                t.accounted_ns(),
+                t.total_write_ns,
+                "split components must still reconcile: {t:?}"
+            );
         });
     }
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Regenerates the committed bench artifacts (currently the device-parallelism
-# probe). Full-size by default; XLSM_QUICK=1 for a fast smoke run — note the
-# committed BENCH_parallelism.json is the full-size output, so don't commit
-# a quick-mode regeneration.
+# Regenerates the committed bench artifacts (the device-parallelism probe
+# and the write-path probe). Full-size by default; XLSM_QUICK=1 for a fast
+# smoke run — note the committed BENCH_*.json files are the full-size
+# output, so don't commit a quick-mode regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> parallelism probe -> BENCH_parallelism.json"
 cargo run -q --release -p xlsm-bench --bin parallelism -- BENCH_parallelism.json
+
+echo "==> writepath probe -> BENCH_writepath.json"
+cargo run -q --release -p xlsm-bench --bin writepath -- BENCH_writepath.json
 
 echo "==> done"

@@ -20,9 +20,15 @@ cargo fmt --check
 
 echo "==> determinism: parallelism probe twice with one seed, byte-identical JSON"
 par_a="$(mktemp)" par_b="$(mktemp)"
-trap 'rm -f "$par_a" "$par_b"' EXIT
+wp_a="$(mktemp)" wp_b="$(mktemp)"
+trap 'rm -f "$par_a" "$par_b" "$wp_a" "$wp_b"' EXIT
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_a" >/dev/null
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_b" >/dev/null
 cmp "$par_a" "$par_b"
+
+echo "==> determinism: writepath probe twice with one seed, byte-identical JSON"
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin writepath -- "$wp_a" >/dev/null
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin writepath -- "$wp_b" >/dev/null
+cmp "$wp_a" "$wp_b"
 
 echo "==> all checks passed"
