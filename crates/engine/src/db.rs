@@ -10,13 +10,13 @@ use crate::costs;
 use crate::error::{DbError, DbResult};
 use crate::iterator::{DbIterator, InternalIterator, LevelIterator, MergingIterator};
 use crate::memtable::MemTable;
-use crate::options::DbOptions;
+use crate::options::{DbOptions, WalRecoveryMode};
 use crate::sst::{sst_file_name, TableBuilder, TableProbe, TableReader};
 use crate::stall::PreprocessStalls;
 use crate::stats::{DbStats, Metrics, Ticker};
 use crate::types::{self, SequenceNumber, ValueType};
 use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
-use crate::wal::{read_wal, WalWriter};
+use crate::wal::{scan_wal, WalWriter};
 use crate::write::{WriteBackend, WriteQueue};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -389,6 +389,9 @@ impl DbInner {
         let watermark = self.versions.log_number();
         let prefix = format!("{}/", self.opts.db_path);
         for path in self.wal_fs.list(&prefix) {
+            if path[prefix.len()..].contains('/') {
+                continue; // files archived under lost/ are not ours to reap
+            }
             if let Some(number) = parse_file_number(&path, ".log") {
                 if number < watermark {
                     let _ = self.wal_fs.delete(&path);
@@ -845,6 +848,25 @@ impl Db {
         );
         let stats = DbStats::shared();
 
+        // A power cut between a file's creation and the durable MANIFEST
+        // record of its number leaves the file on disk with the recovered
+        // counter still pointing at (or below) it; re-claim every number
+        // found so the recovery flush and fresh WAL never collide with a
+        // leftover the orphan sweep has yet to collect.
+        if existing {
+            let prefix = format!("{db_path}/");
+            for path in fs.list(&prefix) {
+                if let Some(n) = parse_file_number(&path, ".sst") {
+                    versions.mark_file_number_used(n);
+                }
+            }
+            for path in wal_fs.list(&prefix) {
+                if let Some(n) = parse_file_number(&path, ".log") {
+                    versions.mark_file_number_used(n);
+                }
+            }
+        }
+
         // --- WAL recovery ---------------------------------------------------
         let mut recovered = Vec::new();
         if existing {
@@ -858,13 +880,96 @@ impl Db {
             wals.sort();
             recovered = wals;
         }
+        let mode = opts.wal_recovery_mode;
         let recovery_mem = MemTable::new(0);
         let mut max_seq = versions.last_sequence();
-        for (_, path) in &recovered {
-            for payload in read_wal(&wal_fs, path)? {
-                let batch = WriteBatch::from_data(&payload)?;
+        // Sequence the next replayed batch must start at: logs concatenate
+        // into one contiguous sequence stream, so a jump means a record
+        // between two intact ones was lost.
+        let mut expected_next: Option<u64> = None;
+        // Point-in-time stop: once set, every remaining record and log is
+        // beyond the recovered point in time and is discarded wholesale.
+        let mut replay_stopped = false;
+        'logs: for (_, path) in &recovered {
+            if replay_stopped {
+                let remaining = match wal_fs.open(path) {
+                    Ok(f) => f.len(),
+                    Err(_) => 0,
+                };
+                stats.add(Ticker::WalDroppedTailBytes, remaining);
+                continue;
+            }
+            let scan = scan_wal(&wal_fs, path, mode)?;
+            stats.add(Ticker::WalDroppedTailBytes, scan.dropped_tail_bytes);
+            stats.add(
+                Ticker::WalSkippedCorruptRecords,
+                scan.skipped_corrupt_records,
+            );
+            for (i, payload) in scan.records.iter().enumerate() {
+                let corrupt =
+                    |what: &str| DbError::Corruption(format!("{what} in {path} (record {i})"));
+                // Count the records a point-in-time stop abandons, so the
+                // drop is surfaced instead of silent.
+                let stop_here = |stats: &DbStats| {
+                    let dropped: u64 = scan.records[i..].iter().map(|r| 8 + r.len() as u64).sum();
+                    stats.add(Ticker::WalDroppedTailBytes, dropped);
+                };
+                let batch = match WriteBatch::from_data(payload) {
+                    Ok(b) => b,
+                    Err(_) => match mode {
+                        WalRecoveryMode::AbsoluteConsistency => {
+                            return Err(corrupt("undecodable write batch"));
+                        }
+                        WalRecoveryMode::PointInTimeRecovery => {
+                            stop_here(&stats);
+                            replay_stopped = true;
+                            continue 'logs;
+                        }
+                        WalRecoveryMode::TolerateCorruptedTailRecords => {
+                            // Treat like a corrupt tail of this log.
+                            stop_here(&stats);
+                            continue 'logs;
+                        }
+                        WalRecoveryMode::SkipAnyCorruptedRecords => {
+                            stats.bump(Ticker::WalSkippedCorruptRecords);
+                            continue;
+                        }
+                    },
+                };
+                let seq = batch.sequence();
+                if let Some(expected) = expected_next {
+                    if seq != expected && mode != WalRecoveryMode::TolerateCorruptedTailRecords {
+                        match mode {
+                            WalRecoveryMode::AbsoluteConsistency => {
+                                return Err(DbError::Corruption(format!(
+                                    "sequence gap in {path}: expected {expected}, found {seq}"
+                                )));
+                            }
+                            WalRecoveryMode::PointInTimeRecovery => {
+                                // The prefix before the gap is the
+                                // recovered point in time.
+                                stop_here(&stats);
+                                replay_stopped = true;
+                                continue 'logs;
+                            }
+                            WalRecoveryMode::SkipAnyCorruptedRecords => {
+                                // The lost records are counted; this one
+                                // still applies.
+                                stats.bump(Ticker::WalSkippedCorruptRecords);
+                            }
+                            WalRecoveryMode::TolerateCorruptedTailRecords => unreachable!(),
+                        }
+                    }
+                }
                 batch.apply_to(&recovery_mem)?;
-                max_seq = max_seq.max(batch.sequence() + batch.count() as u64 - 1);
+                stats.bump(Ticker::WalRecoveredRecords);
+                max_seq = max_seq.max(seq + batch.count() as u64 - 1);
+                expected_next = Some(seq + batch.count() as u64);
+            }
+            if mode == WalRecoveryMode::PointInTimeRecovery && !scan.is_clean() {
+                // This log lost its tail: anything in later logs is past
+                // the recovered point in time.
+                replay_stopped = true;
             }
         }
         while versions.last_sequence() < max_seq {
@@ -961,6 +1066,34 @@ impl Db {
         });
         inner.purge_old_wals();
 
+        // --- Orphan sweep ---------------------------------------------------
+        // A crash between a flush/compaction output being written and its
+        // manifest install strands `.sst` files no version references (old
+        // logs are the WAL purge's job, just above). Queue every
+        // unreferenced table through the ordinary obsolete purge so cache
+        // eviction and error handling are shared with the steady state.
+        if existing {
+            let live = inner.versions.live_files();
+            let prefix = format!("{}/", inner.opts.db_path);
+            let orphans: Vec<u64> = inner
+                .fs
+                .list(&prefix)
+                .into_iter()
+                .filter(|p| !p[prefix.len()..].contains('/'))
+                .filter_map(|p| parse_file_number(&p, ".sst"))
+                .filter(|n| !live.contains(n))
+                .collect();
+            if !orphans.is_empty() {
+                inner.obsolete.lock().extend(orphans.iter().copied());
+                inner.purge_obsolete();
+                let deleted = orphans
+                    .iter()
+                    .filter(|n| !inner.fs.exists(&sst_file_name(&inner.opts.db_path, **n)))
+                    .count() as u64;
+                inner.stats.add(Ticker::OrphanFilesDeleted, deleted);
+            }
+        }
+
         // --- Background workers ----------------------------------------------
         let mut workers = Vec::new();
         for i in 0..inner.opts.max_background_flushes {
@@ -993,6 +1126,19 @@ impl Db {
             inner,
             workers: parking_lot::Mutex::new(workers),
         })
+    }
+
+    /// Rebuilds the database's MANIFEST from surviving files alone — the
+    /// last-resort path when [`Db::open`] fails because the manifest (or
+    /// CURRENT) is torn, missing, or corrupt. See [`crate::repair`] for
+    /// the full contract.
+    ///
+    /// # Errors
+    ///
+    /// Option validation and filesystem errors; damaged tables and logs
+    /// are salvaged or archived rather than reported.
+    pub fn repair(fs: Arc<SimFs>, opts: &DbOptions) -> DbResult<crate::repair::RepairReport> {
+        crate::repair::repair_db(fs, opts)
     }
 
     /// Writes a batch (group-committed).
@@ -1948,6 +2094,201 @@ mod tests {
             assert_eq!(db2.get(b"sst0100").unwrap(), Some(b"on-disk".to_vec()));
             assert_eq!(db2.get(b"wal-only").unwrap(), Some(b"in-log".to_vec()));
             db2.close();
+        });
+    }
+
+    #[test]
+    fn orphan_sst_is_swept_on_reopen() {
+        Runtime::new().run(|| {
+            let (db, fs) = open_db(small_opts());
+            for i in 0..100u32 {
+                db.put(format!("key{i:04}").as_bytes(), b"live").unwrap();
+            }
+            db.flush().unwrap();
+            db.close();
+            // Strand an SST the way a crash between table build and
+            // MANIFEST install would: on disk, never referenced.
+            let stray = sst_file_name("db", 900_000);
+            let f = fs.create(&stray).unwrap();
+            f.append(b"half-built table").unwrap();
+            f.sync().unwrap();
+            drop(f);
+            let db2 = Db::open(Arc::clone(&fs), small_opts()).unwrap();
+            assert!(!fs.exists(&stray), "orphan sst must be swept at open");
+            assert!(db2.stats().ticker(Ticker::OrphanFilesDeleted) >= 1);
+            // The sweep only reaps what the recovered version does not own.
+            assert_eq!(db2.get(b"key0042").unwrap(), Some(b"live".to_vec()));
+            db2.close();
+        });
+    }
+
+    #[test]
+    fn leftover_sst_numbers_are_reclaimed_before_recovery_allocates() {
+        Runtime::new().run(|| {
+            let (db, fs) = open_db(small_opts());
+            for i in 0..10u32 {
+                db.put(format!("key{i:02}").as_bytes(), b"walv").unwrap();
+            }
+            db.close(); // keys live only in the WAL: reopen must flush them
+                        // Strand SSTs at the numbers recovery would allocate next, the
+                        // way a power cut between a flush output's creation and its
+                        // durable MANIFEST install leaves them.
+            let max = fs
+                .list("db/")
+                .into_iter()
+                .filter_map(|p| {
+                    parse_file_number(&p, ".sst").or_else(|| parse_file_number(&p, ".log"))
+                })
+                .max()
+                .unwrap();
+            for n in max + 1..max + 12 {
+                let f = fs.create(&sst_file_name("db", n)).unwrap();
+                f.append(b"half-built flush output").unwrap();
+                f.sync().unwrap();
+            }
+            let db2 = Db::open(Arc::clone(&fs), small_opts())
+                .expect("reopen must not collide with leftover file numbers");
+            for i in 0..10u32 {
+                assert_eq!(
+                    db2.get(format!("key{i:02}").as_bytes()).unwrap(),
+                    Some(b"walv".to_vec())
+                );
+            }
+            db2.close();
+        });
+    }
+
+    #[test]
+    fn torn_wal_tail_fails_absolute_but_not_point_in_time() {
+        Runtime::new().run(|| {
+            let (db, fs) = open_db(small_opts());
+            db.put(b"k1", b"v1").unwrap();
+            db.put(b"k2", b"v2").unwrap();
+            db.close();
+            // Append a torn frame to the live WAL: a header promising 255
+            // payload bytes that never made it to disk.
+            let log = fs
+                .list("db/")
+                .into_iter()
+                .filter(|p| p.ends_with(".log"))
+                .max()
+                .unwrap();
+            let f = fs.open(&log).unwrap();
+            f.append(&[0xde, 0xad, 0xbe, 0xef, 0xff, 0x00, 0x00, 0x00])
+                .unwrap();
+            drop(f);
+            let abs = DbOptions {
+                wal_recovery_mode: WalRecoveryMode::AbsoluteConsistency,
+                ..small_opts()
+            };
+            let err = Db::open(Arc::clone(&fs), abs).unwrap_err();
+            assert!(err.is_corruption(), "got {err:?}");
+            // Default point-in-time recovery drops the tail and keeps the
+            // committed prefix.
+            let db2 = Db::open(Arc::clone(&fs), small_opts()).unwrap();
+            assert_eq!(db2.get(b"k1").unwrap(), Some(b"v1".to_vec()));
+            assert_eq!(db2.get(b"k2").unwrap(), Some(b"v2".to_vec()));
+            assert!(db2.stats().ticker(Ticker::WalDroppedTailBytes) >= 8);
+            assert!(db2.stats().ticker(Ticker::WalRecoveredRecords) >= 2);
+            db2.close();
+        });
+    }
+
+    /// Builds a db whose only WAL holds puts `a`, `b`, `c` — then rewrites
+    /// the log without the middle record, so every frame is CRC-valid but
+    /// the sequence stream has an interior hole.
+    fn fs_with_gapped_wal() -> Arc<SimFs> {
+        let (db, fs) = open_db(small_opts());
+        db.put(b"a", b"1").unwrap();
+        db.put(b"b", b"2").unwrap();
+        db.put(b"c", b"3").unwrap();
+        db.close();
+        let log = fs
+            .list("db/")
+            .into_iter()
+            .filter(|p| p.ends_with(".log"))
+            .max()
+            .unwrap();
+        let records = scan_wal(&fs, &log, WalRecoveryMode::TolerateCorruptedTailRecords)
+            .unwrap()
+            .records;
+        assert_eq!(records.len(), 3, "one record per serial put");
+        let number = parse_file_number(&log, ".log").unwrap();
+        fs.delete(&log).unwrap();
+        let w = WalWriter::create(&fs, "db", number, 0).unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            if i != 1 {
+                w.append(rec, true).unwrap();
+            }
+        }
+        fs
+    }
+
+    #[test]
+    fn sequence_gap_fails_absolute_consistency_open() {
+        Runtime::new().run(|| {
+            let fs = fs_with_gapped_wal();
+            let abs = DbOptions {
+                wal_recovery_mode: WalRecoveryMode::AbsoluteConsistency,
+                ..small_opts()
+            };
+            let err = Db::open(Arc::clone(&fs), abs).unwrap_err();
+            assert!(err.is_corruption(), "got {err:?}");
+            assert!(format!("{err}").contains("sequence gap"), "{err}");
+        });
+    }
+
+    #[test]
+    fn sequence_gap_stops_point_in_time_recovery() {
+        Runtime::new().run(|| {
+            let fs = fs_with_gapped_wal();
+            let db = Db::open(Arc::clone(&fs), small_opts()).unwrap();
+            // The consistent prefix ends before the hole: only `a` is
+            // recovered; the record *after* the gap must not be replayed
+            // even though its checksum is fine.
+            assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+            assert_eq!(db.get(b"b").unwrap(), None);
+            assert_eq!(db.get(b"c").unwrap(), None);
+            assert_eq!(db.stats().ticker(Ticker::WalRecoveredRecords), 1);
+            assert!(db.stats().ticker(Ticker::WalDroppedTailBytes) > 0);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn sequence_gap_is_counted_but_replayed_under_skip_any() {
+        Runtime::new().run(|| {
+            let fs = fs_with_gapped_wal();
+            let opts = DbOptions {
+                wal_recovery_mode: WalRecoveryMode::SkipAnyCorruptedRecords,
+                ..small_opts()
+            };
+            let db = Db::open(Arc::clone(&fs), opts).unwrap();
+            // Salvage-everything mode: both surviving records apply, and
+            // the hole is surfaced through the skip ticker.
+            assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+            assert_eq!(db.get(b"b").unwrap(), None);
+            assert_eq!(db.get(b"c").unwrap(), Some(b"3".to_vec()));
+            assert!(db.stats().ticker(Ticker::WalSkippedCorruptRecords) >= 1);
+            db.close();
+        });
+    }
+
+    #[test]
+    fn sequence_gap_is_invisible_to_tolerate_mode() {
+        Runtime::new().run(|| {
+            let fs = fs_with_gapped_wal();
+            let opts = DbOptions {
+                wal_recovery_mode: WalRecoveryMode::TolerateCorruptedTailRecords,
+                ..small_opts()
+            };
+            // The legacy mode has no sequence checks at all: both records
+            // replay and nothing is reported.
+            let db = Db::open(Arc::clone(&fs), opts).unwrap();
+            assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+            assert_eq!(db.get(b"c").unwrap(), Some(b"3".to_vec()));
+            assert_eq!(db.stats().ticker(Ticker::WalSkippedCorruptRecords), 0);
+            db.close();
         });
     }
 

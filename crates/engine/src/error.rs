@@ -46,6 +46,14 @@ impl DbError {
             }
         )
     }
+
+    /// Whether this error reports on-disk data damage — the class
+    /// [`crate::options::WalRecoveryMode::AbsoluteConsistency`] surfaces at
+    /// open instead of silently dropping data. Recovery harnesses branch on
+    /// this to distinguish "refused to open" from "broken".
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, DbError::Corruption(_))
+    }
 }
 
 impl fmt::Display for DbError {

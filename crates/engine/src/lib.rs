@@ -57,6 +57,7 @@ pub mod histogram;
 pub mod iterator;
 pub mod memtable;
 pub mod options;
+pub mod repair;
 pub mod sst;
 pub mod stall;
 pub mod stats;
@@ -71,7 +72,8 @@ pub use db::Db;
 pub use error::{DbError, DbResult};
 pub use histogram::{Histogram, HistogramSummary};
 pub use memtable::MemTable;
-pub use options::DbOptions;
+pub use options::{DbOptions, WalRecoveryMode};
+pub use repair::{repair_db, RepairReport};
 pub use stall::{
     PreprocessStalls, StallAccounting, StallCause, StallEvent, StallTotals, WriteBreakdown,
 };

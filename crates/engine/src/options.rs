@@ -6,6 +6,57 @@ use std::fmt;
 use std::sync::Arc;
 use xlsm_simfs::SimFs;
 
+/// How aggressively WAL replay trusts the log contents at recovery time —
+/// RocksDB's `WALRecoveryMode`, in increasing order of tolerance.
+///
+/// The mode governs two things: what happens when the scan meets a torn or
+/// checksum-corrupt record, and what happens when the replayed batches skip
+/// sequence numbers (a *gap* — evidence that a record between two intact
+/// ones was lost).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalRecoveryMode {
+    /// The log must be perfect (clean-shutdown contract): any torn record,
+    /// checksum failure, or sequence gap fails the open with
+    /// [`crate::DbError::Corruption`].
+    AbsoluteConsistency,
+    /// Replay the longest consistent prefix: stop at the first torn or
+    /// corrupt record *and at the first sequence gap*, discarding
+    /// everything after the stop point (including later WAL files), so the
+    /// recovered state is always a prefix of commit order. The RocksDB and
+    /// engine default.
+    #[default]
+    PointInTimeRecovery,
+    /// Drop a corrupt tail in *each* log but keep replaying subsequent
+    /// logs, without sequence-gap checks — the legacy LevelDB contract.
+    /// May recover a non-prefix state after a cross-log tail loss.
+    TolerateCorruptedTailRecords,
+    /// Salvage everything salvageable: skip interior records whose
+    /// checksum fails (when the length framing is still intact), keep
+    /// scanning, and count sequence gaps instead of failing. Prefix
+    /// consistency is explicitly abandoned.
+    SkipAnyCorruptedRecords,
+}
+
+impl WalRecoveryMode {
+    /// Short name used in reports and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            WalRecoveryMode::AbsoluteConsistency => "absolute-consistency",
+            WalRecoveryMode::PointInTimeRecovery => "point-in-time",
+            WalRecoveryMode::TolerateCorruptedTailRecords => "tolerate-corrupted-tail",
+            WalRecoveryMode::SkipAnyCorruptedRecords => "skip-any-corrupted",
+        }
+    }
+
+    /// All four modes, in increasing order of tolerance (test matrices).
+    pub const ALL: [WalRecoveryMode; 4] = [
+        WalRecoveryMode::AbsoluteConsistency,
+        WalRecoveryMode::PointInTimeRecovery,
+        WalRecoveryMode::TolerateCorruptedTailRecords,
+        WalRecoveryMode::SkipAnyCorruptedRecords,
+    ];
+}
+
 /// Tuning knobs for a [`crate::Db`].
 ///
 /// Defaults follow RocksDB 5.17 / `db_bench` defaults, geometrically scaled
@@ -79,6 +130,9 @@ pub struct DbOptions {
     pub enable_wal: bool,
     /// fsync the WAL on every commit (paper and db_bench default: off).
     pub wal_sync: bool,
+    /// How WAL replay treats torn/corrupt records and sequence gaps at
+    /// recovery time (RocksDB `wal_recovery_mode`).
+    pub wal_recovery_mode: WalRecoveryMode,
     /// Background-flush the WAL's dirty pages every this many bytes
     /// (`wal_bytes_per_sync` analogue; 0 disables).
     pub wal_bytes_per_sync: usize,
@@ -124,6 +178,7 @@ impl fmt::Debug for DbOptions {
                 &self.allow_concurrent_memtable_write,
             )
             .field("enable_wal", &self.enable_wal)
+            .field("wal_recovery_mode", &self.wal_recovery_mode)
             .field("bloom_bits_per_key", &self.bloom_bits_per_key)
             .finish_non_exhaustive()
     }
@@ -155,6 +210,7 @@ impl Default for DbOptions {
             concurrent_apply_min_batches: 2,
             enable_wal: true,
             wal_sync: false,
+            wal_recovery_mode: WalRecoveryMode::PointInTimeRecovery,
             wal_bytes_per_sync: 16 << 10, // 512 KB / 32 (scaled, like the rest of the geometry)
             delayed_write_rate: 16 << 20, // 16 MB/s
             paranoid_checks: true,
@@ -230,6 +286,14 @@ mod tests {
         assert_eq!(o.level0_stop_writes_trigger, 36);
         assert_eq!(o.max_write_buffer_number, 2);
         assert_eq!(o.bloom_bits_per_key, 0, "db_bench default: no bloom");
+        assert_eq!(o.wal_recovery_mode, WalRecoveryMode::PointInTimeRecovery);
+    }
+
+    #[test]
+    fn recovery_modes_enumerate_in_tolerance_order() {
+        assert_eq!(WalRecoveryMode::ALL.len(), 4);
+        assert_eq!(WalRecoveryMode::ALL[0].name(), "absolute-consistency");
+        assert_eq!(WalRecoveryMode::default().name(), "point-in-time");
     }
 
     #[test]

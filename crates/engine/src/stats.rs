@@ -50,6 +50,21 @@ pub enum Ticker {
     /// Write-group member batches applied to the memtable *concurrently*
     /// (on the member's own thread, `allow_concurrent_memtable_write`).
     ConcurrentMemtableApplies,
+    /// WAL records replayed into the recovery memtable at `Db::open`.
+    WalRecoveredRecords,
+    /// Bytes of torn/corrupt WAL tail abandoned during recovery (includes
+    /// everything discarded past a point-in-time stop).
+    WalDroppedTailBytes,
+    /// Corrupt or sequence-gapped WAL records skipped over under
+    /// `WalRecoveryMode::SkipAnyCorruptedRecords`.
+    WalSkippedCorruptRecords,
+    /// SSTs salvaged into the rebuilt manifest by `Db::repair` (surviving
+    /// tables plus tables converted from surviving logs).
+    RepairSstsRecovered,
+    /// Unreferenced `.sst`/`.log` files deleted by the orphan sweep at
+    /// `Db::open` (outputs stranded by a crash before their manifest
+    /// install).
+    OrphanFilesDeleted,
     TickerCount, // sentinel
 }
 

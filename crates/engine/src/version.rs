@@ -306,8 +306,8 @@ pub fn apply_edit(base: &Version, edit: &VersionEdit) -> Version {
     Version { levels }
 }
 
-const MANIFEST_NAME: &str = "MANIFEST";
-const CURRENT_NAME: &str = "CURRENT";
+pub(crate) const MANIFEST_NAME: &str = "MANIFEST";
+pub(crate) const CURRENT_NAME: &str = "CURRENT";
 
 /// Owns the current [`Version`], the manifest log, and the id/sequence
 /// counters.
@@ -337,12 +337,24 @@ impl fmt::Debug for VersionSet {
     }
 }
 
-fn manifest_path(db_path: &str) -> String {
+pub(crate) fn manifest_path(db_path: &str) -> String {
     format!("{db_path}/{MANIFEST_NAME}")
 }
 
-fn current_path(db_path: &str) -> String {
+pub(crate) fn current_path(db_path: &str) -> String {
     format!("{db_path}/{CURRENT_NAME}")
+}
+
+/// Frames one manifest payload the way [`VersionSet::log_and_apply`] and
+/// the repairer write it: `[masked crc32c][len][payload]` — the same
+/// framing the WAL uses, so [`crate::wal::scan_wal`] replays both.
+pub(crate) fn frame_manifest_record(payload: &[u8]) -> Vec<u8> {
+    let crc = crate::crc32c::masked(crate::crc32c::crc32c(payload));
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&crc.to_le_bytes());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
 }
 
 impl VersionSet {
@@ -426,6 +438,15 @@ impl VersionSet {
         self.next_file.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Advances the allocator past `number`. A crash can leave files on
+    /// disk whose numbers the recovered MANIFEST never durably claimed
+    /// (the output of an uninstalled flush, a WAL whose counter edit died
+    /// with the power); open re-claims every number it sees so fresh
+    /// allocations cannot collide with the leftovers.
+    pub fn mark_file_number_used(&self, number: u64) {
+        self.next_file.fetch_max(number + 1, Ordering::Relaxed);
+    }
+
     /// Last *published* (reader-visible) sequence number.
     pub fn last_sequence(&self) -> u64 {
         self.last_sequence.load(Ordering::Acquire)
@@ -487,11 +508,7 @@ impl VersionSet {
         // Clone the handle out of the lock: append/sync block in sim time,
         // and callers are already serialized by the install lock.
         let manifest = self.manifest.lock().clone();
-        let crc = crate::crc32c::masked(crate::crc32c::crc32c(&payload));
-        let mut rec = Vec::with_capacity(8 + payload.len());
-        rec.extend_from_slice(&crc.to_le_bytes());
-        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&payload);
+        let rec = frame_manifest_record(&payload);
         manifest.append(&rec)?;
         manifest.sync()?;
         let new_version = {

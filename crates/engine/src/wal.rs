@@ -10,6 +10,7 @@ use crate::coding::get_fixed32;
 use crate::costs;
 use crate::crc32c;
 use crate::error::{DbError, DbResult};
+use crate::options::WalRecoveryMode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use xlsm_simfs::{FileHandle, FsError, SimFs};
 
@@ -89,38 +90,129 @@ impl WalWriter {
     }
 }
 
+/// Outcome of scanning one WAL (or manifest) file under a
+/// [`WalRecoveryMode`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalScan {
+    /// Payloads of the records the mode accepted, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes from the first unreadable point to end-of-file that the scan
+    /// abandoned (torn tail, or unresyncable framing damage).
+    pub dropped_tail_bytes: u64,
+    /// Interior records skipped over because their checksum failed while
+    /// the length framing stayed intact
+    /// ([`WalRecoveryMode::SkipAnyCorruptedRecords`] only).
+    pub skipped_corrupt_records: u64,
+}
+
+impl WalScan {
+    /// Whether the scan consumed the file cleanly (no drops, no skips).
+    pub fn is_clean(&self) -> bool {
+        self.dropped_tail_bytes == 0 && self.skipped_corrupt_records == 0
+    }
+}
+
+/// Scans the records of one WAL file under `mode`.
+///
+/// A missing file scans as empty (recovery lists may race deletion). The
+/// scan walks `[masked crc32c][len][payload]` frames; what happens at the
+/// first damaged frame depends on the mode:
+///
+/// * [`WalRecoveryMode::AbsoluteConsistency`] — any torn or corrupt record
+///   is a [`DbError::Corruption`].
+/// * [`WalRecoveryMode::PointInTimeRecovery`] /
+///   [`WalRecoveryMode::TolerateCorruptedTailRecords`] — stop, reporting
+///   the remainder as [`WalScan::dropped_tail_bytes`] (how the caller
+///   treats *later* log files differs between the two; see `Db::open`).
+/// * [`WalRecoveryMode::SkipAnyCorruptedRecords`] — a checksum-corrupt
+///   record whose length framing still lands on a valid next frame is
+///   skipped and counted; framing damage (length running past EOF) cannot
+///   be resynced and drops the tail.
+///
+/// # Errors
+///
+/// Filesystem errors always propagate; corruption errors only under
+/// [`WalRecoveryMode::AbsoluteConsistency`].
+pub fn scan_wal(
+    fs: &std::sync::Arc<SimFs>,
+    path: &str,
+    mode: WalRecoveryMode,
+) -> DbResult<WalScan> {
+    let file = match fs.open(path) {
+        Ok(f) => f,
+        Err(FsError::NotFound(_)) => return Ok(WalScan::default()),
+        Err(e) => return Err(DbError::from(e)),
+    };
+    let size = file.len();
+    let mut scan = WalScan::default();
+    let mut off = 0u64;
+    while off < size {
+        if off + 8 > size {
+            // Torn mid-header: nothing left to frame.
+            return finish_tail(mode, path, scan, size - off);
+        }
+        let header = file.read_at(off, 8)?;
+        let stored_crc = crc32c::unmask(get_fixed32(&header, 0));
+        let len = get_fixed32(&header, 4) as u64;
+        if off + 8 + len > size {
+            // Torn mid-payload (or garbage length): unresyncable.
+            return finish_tail(mode, path, scan, size - off);
+        }
+        let payload = file.read_at(off + 8, len as usize)?;
+        if crc32c::crc32c(&payload) != stored_crc {
+            match mode {
+                WalRecoveryMode::AbsoluteConsistency => {
+                    return Err(DbError::Corruption(format!(
+                        "checksum mismatch in {path} at offset {off}"
+                    )));
+                }
+                WalRecoveryMode::PointInTimeRecovery
+                | WalRecoveryMode::TolerateCorruptedTailRecords => {
+                    scan.dropped_tail_bytes = size - off;
+                    return Ok(scan);
+                }
+                WalRecoveryMode::SkipAnyCorruptedRecords => {
+                    // The frame is self-consistent (length fits), so the
+                    // next frame boundary is trustworthy: skip and resync.
+                    scan.skipped_corrupt_records += 1;
+                    off += 8 + len;
+                    continue;
+                }
+            }
+        }
+        scan.records.push(payload);
+        off += 8 + len;
+    }
+    Ok(scan)
+}
+
+fn finish_tail(
+    mode: WalRecoveryMode,
+    path: &str,
+    mut scan: WalScan,
+    torn_bytes: u64,
+) -> DbResult<WalScan> {
+    if mode == WalRecoveryMode::AbsoluteConsistency {
+        return Err(DbError::Corruption(format!(
+            "torn record at tail of {path} ({torn_bytes} trailing bytes)"
+        )));
+    }
+    scan.dropped_tail_bytes = torn_bytes;
+    Ok(scan)
+}
+
 /// Replays the records of a WAL file.
 ///
 /// Returns the payloads of all intact records, stopping silently at the
-/// first truncated or corrupt record (the normal crash-recovery contract).
+/// first truncated or corrupt record — the tolerant legacy contract, kept
+/// for manifest recovery and callers that do their own accounting. New code
+/// on the WAL-replay path should prefer [`scan_wal`].
 ///
 /// # Errors
 ///
 /// Only filesystem-level errors; corruption terminates the scan instead.
 pub fn read_wal(fs: &std::sync::Arc<SimFs>, path: &str) -> DbResult<Vec<Vec<u8>>> {
-    let file = match fs.open(path) {
-        Ok(f) => f,
-        Err(FsError::NotFound(_)) => return Ok(Vec::new()),
-        Err(e) => return Err(DbError::from(e)),
-    };
-    let size = file.len();
-    let mut out = Vec::new();
-    let mut off = 0u64;
-    while off + 8 <= size {
-        let header = file.read_at(off, 8)?;
-        let stored_crc = crc32c::unmask(get_fixed32(&header, 0));
-        let len = get_fixed32(&header, 4) as u64;
-        if off + 8 + len > size {
-            break; // truncated tail
-        }
-        let payload = file.read_at(off + 8, len as usize)?;
-        if crc32c::crc32c(&payload) != stored_crc {
-            break; // corrupt tail
-        }
-        out.push(payload);
-        off += 8 + len;
-    }
-    Ok(out)
+    Ok(scan_wal(fs, path, WalRecoveryMode::TolerateCorruptedTailRecords)?.records)
 }
 
 #[cfg(test)]
@@ -194,6 +286,121 @@ mod tests {
             let _ = w2;
             let recs = read_wal(&fs, &wal_file_name("db", 1)).unwrap();
             assert_eq!(recs, vec![b"good".to_vec()]);
+        });
+    }
+
+    /// Writes a WAL with records `good`, then a CRC-corrupt record with
+    /// intact framing, then `after`, returning its path.
+    fn wal_with_interior_corruption(fs: &Arc<SimFs>) -> String {
+        let w = WalWriter::create(fs, "db", 9, 0).unwrap();
+        w.append(b"good", false).unwrap();
+        let f = fs.open(&wal_file_name("db", 9)).unwrap();
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        bad.extend_from_slice(&4u32.to_le_bytes());
+        bad.extend_from_slice(b"evil");
+        f.append(&bad).unwrap();
+        w.append(b"after", false).unwrap();
+        wal_file_name("db", 9)
+    }
+
+    #[test]
+    fn absolute_consistency_fails_on_torn_tail() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+            w.append(b"whole", false).unwrap();
+            let f = fs.open(&wal_file_name("db", 1)).unwrap();
+            f.append(&[0xAA, 0xBB, 0xCC]).unwrap();
+            let err = scan_wal(
+                &fs,
+                &wal_file_name("db", 1),
+                WalRecoveryMode::AbsoluteConsistency,
+            )
+            .unwrap_err();
+            assert!(matches!(err, DbError::Corruption(_)), "got {err:?}");
+            // A clean log passes.
+            let w2 = WalWriter::create(&fs, "db", 2, 0).unwrap();
+            w2.append(b"fine", false).unwrap();
+            let scan = scan_wal(
+                &fs,
+                &wal_file_name("db", 2),
+                WalRecoveryMode::AbsoluteConsistency,
+            )
+            .unwrap();
+            assert_eq!(scan.records, vec![b"fine".to_vec()]);
+            assert!(scan.is_clean());
+        });
+    }
+
+    #[test]
+    fn point_in_time_stops_at_interior_corruption() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let path = wal_with_interior_corruption(&fs);
+            let scan = scan_wal(&fs, &path, WalRecoveryMode::PointInTimeRecovery).unwrap();
+            assert_eq!(scan.records, vec![b"good".to_vec()]);
+            assert_eq!(scan.skipped_corrupt_records, 0);
+            // Dropped: the corrupt record and the intact one behind it.
+            assert_eq!(scan.dropped_tail_bytes, (8 + 4) + (8 + 5));
+        });
+    }
+
+    #[test]
+    fn skip_any_resyncs_past_interior_corruption() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let path = wal_with_interior_corruption(&fs);
+            let scan = scan_wal(&fs, &path, WalRecoveryMode::SkipAnyCorruptedRecords).unwrap();
+            assert_eq!(scan.records, vec![b"good".to_vec(), b"after".to_vec()]);
+            assert_eq!(scan.skipped_corrupt_records, 1);
+            assert_eq!(scan.dropped_tail_bytes, 0);
+        });
+    }
+
+    #[test]
+    fn skip_any_cannot_resync_framing_damage() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+            w.append(b"keep", false).unwrap();
+            // Length field claims more bytes than the file holds: the
+            // frame boundary is untrustworthy, so the tail is dropped even
+            // under the most tolerant mode.
+            let f = fs.open(&wal_file_name("db", 1)).unwrap();
+            let mut bad = Vec::new();
+            bad.extend_from_slice(&0u32.to_le_bytes());
+            bad.extend_from_slice(&10_000u32.to_le_bytes());
+            bad.extend_from_slice(b"short");
+            f.append(&bad).unwrap();
+            let scan = scan_wal(
+                &fs,
+                &wal_file_name("db", 1),
+                WalRecoveryMode::SkipAnyCorruptedRecords,
+            )
+            .unwrap();
+            assert_eq!(scan.records, vec![b"keep".to_vec()]);
+            assert_eq!(scan.dropped_tail_bytes, 13);
+        });
+    }
+
+    #[test]
+    fn tolerate_mode_reports_dropped_tail_bytes() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let w = WalWriter::create(&fs, "db", 1, 0).unwrap();
+            w.append(b"keep-me", false).unwrap();
+            let f = fs.open(&wal_file_name("db", 1)).unwrap();
+            f.append(&[0x12, 0x34, 0x56, 0x78, 200, 0, 0, 0, b'x'])
+                .unwrap();
+            let scan = scan_wal(
+                &fs,
+                &wal_file_name("db", 1),
+                WalRecoveryMode::TolerateCorruptedTailRecords,
+            )
+            .unwrap();
+            assert_eq!(scan.records, vec![b"keep-me".to_vec()]);
+            assert_eq!(scan.dropped_tail_bytes, 9);
         });
     }
 

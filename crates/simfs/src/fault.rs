@@ -140,6 +140,13 @@ pub(crate) struct FaultState {
 }
 
 impl FaultState {
+    /// Total operations observed (the counter [`FaultPlan::power_cut_at_op`]
+    /// triggers against) — lets a harness run a workload clean under an
+    /// empty plan, read the op count, and then enumerate cut points.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
     pub fn new(plan: FaultPlan) -> FaultState {
         let rng = Xoshiro256::new(plan.seed);
         FaultState {

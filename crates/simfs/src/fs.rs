@@ -407,6 +407,15 @@ impl SimFs {
         *self.fault.lock() = None;
     }
 
+    /// Operations counted by the active fault plan so far — the counter
+    /// [`FaultPlan::power_cut_at_op`] triggers against. Returns 0 with no
+    /// plan installed. A crash harness runs its workload once under an
+    /// empty [`FaultPlan`], reads this, and then sweeps cut points over
+    /// `1..=fault_ops()` knowing each replay counts identically.
+    pub fn fault_ops(&self) -> u64 {
+        self.fault.lock().as_ref().map_or(0, FaultState::ops)
+    }
+
     /// Whether a power cut is in effect (operations fail until
     /// [`SimFs::power_restore`]).
     pub fn is_powered_off(&self) -> bool {
@@ -506,6 +515,12 @@ impl SimFs {
     /// LPN-contiguous runs). Must be called with no locks held.
     fn write_back(&self, victims: &[PageKey]) {
         if victims.is_empty() {
+            return;
+        }
+        // A dead filesystem writes nothing: pages "pushed" after the cut
+        // must not enter the durability ledger, or a later barrier would
+        // promote data the cut already destroyed.
+        if self.dead.load(Ordering::Relaxed) {
             return;
         }
         // Resolve LPNs; skip pages of deleted files. This is the single
@@ -859,6 +874,12 @@ impl FileHandle {
         let keys: Vec<PageKey> = pages.into_iter().map(|p| (self.data.id, p)).collect();
         self.fs.write_back(&keys);
         self.fs.device.sync();
+        // The write-back above yields to the runtime, so a scripted power
+        // cut can land *inside* this sync. A sync that did not complete
+        // before power died must fail — the cut has already discarded the
+        // device write buffer, so reporting success here would let the
+        // caller acknowledge a write that was never durable.
+        self.fs.fail_if_dead("sync", &self.name())?;
         // The barrier has completed: everything previously pushed to the
         // device (any file) is now durable.
         self.fs.promote_durable();
@@ -1347,6 +1368,36 @@ mod prefetch_tests {
             f.append(b"tiny").unwrap();
             f.prefetch(0, 1 << 20).unwrap(); // way past EOF: fine
             f.prefetch(1 << 30, 4096).unwrap(); // fully past EOF: no-op
+        });
+    }
+    /// Regression: a power cut landing *inside* a sync (the device
+    /// write-back yields to the runtime) must fail that sync. Reporting
+    /// success would let a WAL writer acknowledge a commit whose bytes the
+    /// cut already discarded — an acked write would silently vanish.
+    #[test]
+    fn sync_straddling_power_cut_fails_instead_of_acking() {
+        Runtime::new().run(|| {
+            let fs = SimFs::new(
+                SimDevice::shared(profiles::intel_530_sata()),
+                FsOptions::default(),
+            );
+            let f = fs.create("db/000007.log").unwrap();
+            f.append(&[7u8; 256]).unwrap();
+            // Cut power 1 µs into the sync: the device write for the dirty
+            // page takes far longer, so the cut interleaves with it.
+            let killer = {
+                let fs = Arc::clone(&fs);
+                xlsm_sim::spawn("killer", move || {
+                    xlsm_sim::sleep_nanos(1_000);
+                    fs.power_cut();
+                })
+            };
+            let res = f.sync();
+            killer.join();
+            assert!(res.is_err(), "interrupted sync must not report success");
+            fs.power_restore();
+            let g = fs.open("db/000007.log").unwrap();
+            assert_eq!(g.len(), 0, "nothing unacknowledged may survive the cut");
         });
     }
 }
