@@ -19,7 +19,7 @@ fn main() {
         eprintln!(
             "usage: figures [--quick] <all | fig01 | fig03 | fig04 | fig05 | fig06 | fig07 | \
              fig08 | fig09 | fig10 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | \
-             fig19 | fig20 | stalls | ext_skew | parallelism | writepath> ..."
+             fig19 | fig20 | stalls | ext_skew | parallelism | writepath | readpath> ..."
         );
         std::process::exit(2);
     }
@@ -99,6 +99,9 @@ fn main() {
     }
     if want("writepath") {
         emit(figures::fig_writepath(&cfg));
+    }
+    if want("readpath") {
+        emit(figures::fig_readpath(&cfg));
     }
 
     if count == 0 {

@@ -1,0 +1,39 @@
+//! Read-path probe: point-miss cost vs blooms under a deep Level-0, block
+//! compression vs read throughput, and MultiGet fan-out vs table-cache
+//! shards, emitted as deterministic JSON.
+//!
+//! ```text
+//! cargo run -p xlsm-bench --release --bin readpath -- [out.json]
+//! XLSM_QUICK=1 cargo run -p xlsm-bench --release --bin readpath
+//! ```
+//!
+//! The output carries no timestamps or wall-clock data: two runs with the
+//! same seed must produce byte-identical files (`scripts/check.sh` enforces
+//! this).
+
+use xlsm_bench::common::BenchConfig;
+use xlsm_bench::readpath;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_readpath.json".to_string());
+    let cfg = BenchConfig::from_env();
+    eprintln!(
+        "[readpath] config: {} keys x {} B, seed {:#x}",
+        cfg.key_count, cfg.value_size, cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let report = readpath::run(&cfg);
+    for (_, table) in report.tables() {
+        println!("{table}");
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("[readpath] failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[readpath] wrote {out} in {:.1}s wall",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -644,6 +644,15 @@ pub fn fig_writepath(cfg: &BenchConfig) -> Vec<Figure> {
     crate::writepath::run(cfg).tables()
 }
 
+/// Extension experiment: the read-path accelerators — bloom filters
+/// against Finding #2's Level-0 miss penalty, block compression against
+/// the device transfer, table-cache sharding against MultiGet fan-out
+/// serialization — measured on all three devices. Details and the JSON
+/// probe live in [`crate::readpath`].
+pub fn fig_readpath(cfg: &BenchConfig) -> Vec<Figure> {
+    crate::readpath::run(cfg).tables()
+}
+
 /// Every figure in paper order. This is what `figures all` runs.
 pub fn all_figures(cfg: &BenchConfig) -> Vec<Figure> {
     let mut out = Vec::new();

@@ -19,12 +19,14 @@
 //! | [`fig_stalls`] | Figs. 6/7 (stall view) | cross-layer stall timeline + write-time breakdown |
 //! | [`fig_parallelism`] | extension (§VI) | subcompaction drain throughput + batched MultiGet |
 //! | [`fig_writepath`] | Figs. 15–16 (fix) | serial vs concurrent memtable apply vs writer count |
+//! | [`fig_readpath`] | Finding #2 (fix) | blooms, block compression, sharded table cache |
 
 #![warn(missing_docs)]
 
 pub mod common;
 pub mod figures;
 pub mod parallelism;
+pub mod readpath;
 pub mod writepath;
 
 pub use common::BenchConfig;

@@ -61,10 +61,13 @@ impl Shard {
         self.tick += 1;
         let tick = self.tick;
         let charge = block.raw_size;
-        if let Some((_, old)) = self.map.insert(key, (block, tick)) {
-            let _ = old; // replacement: charge stays equivalent
-        } else {
-            self.used += charge;
+        self.used += charge;
+        if let Some((old, _)) = self.map.insert(key, (block, tick)) {
+            // Replacement: release the displaced entry's charge. The new
+            // block may be a different size (e.g. the file was rewritten
+            // under the same number by repair), so the charges are not
+            // interchangeable.
+            self.used -= old.raw_size;
         }
         self.queue.push_back((key, tick));
         while self.used > self.capacity {
@@ -253,6 +256,44 @@ mod tests {
             queued <= 2 * live + 2,
             "recency queue grew unbounded: {queued} entries for {live} blocks"
         );
+    }
+
+    #[test]
+    fn overwrite_accounting_matches_live_charges() {
+        // Regression: re-inserting an existing key at a different size must
+        // keep `used` equal to the sum of live entry charges. The old code
+        // kept the original charge forever, so shrinking re-inserts pinned
+        // phantom bytes (forcing spurious evictions) and growing re-inserts
+        // under-counted until the shard overflowed its capacity.
+        let c = BlockCache::new(1 << 20);
+        for round in 0..8usize {
+            for i in 0..32u64 {
+                // Sizes vary per round: 100, 3100, 600, ...
+                let size = 100 + (round * 3000) % 7000 + i as usize;
+                c.insert((i, i * 4096), block(size));
+            }
+        }
+        let live: usize = c
+            .shards
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                s.map.values().map(|(b, _)| b.raw_size).sum::<usize>()
+            })
+            .sum();
+        assert_eq!(
+            c.used_bytes(),
+            live,
+            "used bytes diverged from live charges after re-inserts"
+        );
+    }
+
+    #[test]
+    fn shrinking_reinserts_do_not_pin_phantom_bytes() {
+        let c = BlockCache::new(1 << 20);
+        c.insert((1, 0), block(10_000));
+        c.insert((1, 0), block(10));
+        assert_eq!(c.used_bytes(), 10, "old charge must be released");
     }
 
     #[test]

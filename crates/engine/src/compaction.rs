@@ -501,10 +501,9 @@ fn merge_into_edit(
                 builder_number = new_file_number();
                 created.push(builder_number);
                 let file = fs.create(&sst_file_name(db_path, builder_number))?;
-                builder = Some(TableBuilder::new(
+                builder = Some(TableBuilder::with_options(
                     file,
-                    opts.block_size,
-                    opts.bloom_bits_per_key,
+                    crate::sst::TableOptions::from(opts),
                 ));
             }
             let b = builder.as_mut().unwrap();

@@ -39,6 +39,16 @@ pub const SKIPLIST_INSERT_BASE_NS: u64 = 400;
 /// Decoding one SST block, per KiB.
 pub const BLOCK_DECODE_NS_PER_KIB: u64 = 220;
 
+/// Decompressing one SST block, per KiB of *compressed* payload. Cheap
+/// codecs (LZ4-class; the engine's RLE stands in for them) decompress at
+/// multiple GB/s, so the per-byte cost is well below block decoding.
+pub const BLOCK_DECOMPRESS_NS_PER_KIB: u64 = 64;
+
+/// One table-cache lookup under the shard lock: hash, probe, LRU touch.
+/// This is the critical section `table_cache_shards` exists to split — at
+/// `multi_get` fan-out every probe thread passes through it.
+pub const TABLE_CACHE_FIND_NS: u64 = 350;
+
 /// One key comparison during binary search (index or restart array).
 pub const SEARCH_CMP_NS: u64 = 55;
 
@@ -46,7 +56,9 @@ pub const SEARCH_CMP_NS: u64 = 55;
 pub const BLOOM_CHECK_NS: u64 = 200;
 
 /// Fixed per-SST-file overhead for a point lookup (table handle, index
-/// setup). Dominates the paper's per-L0-file cost.
+/// setup). Dominates the paper's per-L0-file cost. Charged only once a
+/// probe survives the table's filter blocks: those live with the open
+/// reader, so a bloom rejection skips this cost entirely.
 pub const TABLE_LOOKUP_BASE_NS: u64 = 2_600;
 
 /// Per-entry cost while merging during compaction/flush: merge-heap
@@ -95,6 +107,11 @@ pub fn binary_search_ns(n: u64) -> u64 {
 /// Cost of decoding a block of `bytes` bytes.
 pub fn block_decode_ns(bytes: usize) -> u64 {
     (bytes as u64 * BLOCK_DECODE_NS_PER_KIB) / 1024
+}
+
+/// Cost of decompressing a block whose compressed payload is `bytes` bytes.
+pub fn block_decompress_ns(bytes: usize) -> u64 {
+    (bytes as u64 * BLOCK_DECOMPRESS_NS_PER_KIB) / 1024 + 150
 }
 
 /// Cost of encoding `bytes` of WAL payload.

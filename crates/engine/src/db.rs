@@ -11,7 +11,7 @@ use crate::error::{DbError, DbResult};
 use crate::iterator::{DbIterator, InternalIterator, LevelIterator, MergingIterator};
 use crate::memtable::MemTable;
 use crate::options::{DbOptions, WalRecoveryMode};
-use crate::sst::{sst_file_name, TableBuilder, TableProbe, TableReader};
+use crate::sst::{sst_file_name, TableBuilder, TableOptions, TableProbe, TableReader};
 use crate::stall::PreprocessStalls;
 use crate::stats::{DbStats, Metrics, Ticker};
 use crate::types::{self, SequenceNumber, ValueType};
@@ -19,7 +19,7 @@ use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
 use crate::wal::{scan_wal, WalWriter};
 use crate::write::{WriteBackend, WriteQueue};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use xlsm_sim::sync::{channel, Receiver, Semaphore, Sender};
 use xlsm_sim::JoinHandle;
@@ -93,19 +93,45 @@ impl ReaderMap {
     }
 }
 
+/// One table-cache shard: its own LRU reader map plus a simulated critical
+/// section. Under the cooperative virtual clock a `parking_lot` lock never
+/// shows contention, so the serialized lookup cost the paper observes is
+/// modeled explicitly: every lookup holds the shard's `gate` semaphore while
+/// charging [`costs::TABLE_CACHE_FIND_NS`].
+struct TableCacheShard {
+    gate: Semaphore,
+    readers: parking_lot::Mutex<ReaderMap>,
+}
+
+impl TableCacheShard {
+    /// Runs `f` on the reader map inside the shard's simulated critical
+    /// section, charging one lookup of CPU while the gate is held.
+    fn locked<T>(&self, f: impl FnOnce(&mut ReaderMap) -> T) -> T {
+        self.gate.acquire(1);
+        xlsm_sim::sleep_nanos(costs::TABLE_CACHE_FIND_NS);
+        let out = f(&mut self.readers.lock());
+        self.gate.release(1);
+        out
+    }
+}
+
 /// Caches open [`TableReader`]s (bounded by `max_open_files`, LRU) and owns
-/// the shared block cache.
+/// the shared block cache. Sharded by file number so concurrent
+/// `multi_get` probes do not serialize on a single lookup lock.
 pub struct TableCache {
     fs: Arc<SimFs>,
     db_path: String,
     block_cache: Arc<BlockCache>,
-    readers: parking_lot::Mutex<ReaderMap>,
+    shards: Vec<TableCacheShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl std::fmt::Debug for TableCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TableCache")
-            .field("open_tables", &self.readers.lock().map.len())
+            .field("shards", &self.shards.len())
+            .field("open_tables", &self.open_readers())
             .finish_non_exhaustive()
     }
 }
@@ -113,24 +139,48 @@ impl std::fmt::Debug for TableCache {
 impl TableCache {
     /// Creates a table cache over `fs` with a block cache of
     /// `block_cache_capacity` bytes, keeping at most `max_open_files`
-    /// readers open (`0` = unbounded).
+    /// readers open (`0` = unbounded) across `shards` independent shards.
     pub fn new(
         fs: Arc<SimFs>,
         db_path: &str,
         block_cache_capacity: usize,
         max_open_files: usize,
+        shards: usize,
     ) -> Arc<TableCache> {
+        let shards = shards.max(1);
+        // Split the open-file budget evenly; each shard keeps at least one
+        // reader so a tiny budget never thrashes to zero.
+        let per_shard_cap = if max_open_files == 0 {
+            0
+        } else {
+            (max_open_files / shards).max(1)
+        };
         Arc::new(TableCache {
             fs,
             db_path: db_path.to_owned(),
             block_cache: BlockCache::new(block_cache_capacity),
-            readers: parking_lot::Mutex::new(ReaderMap {
-                map: std::collections::HashMap::new(),
-                queue: std::collections::VecDeque::new(),
-                tick: 0,
-                cap: max_open_files,
-            }),
+            shards: (0..shards)
+                .map(|_| TableCacheShard {
+                    gate: Semaphore::new("table-cache-shard", 1),
+                    readers: parking_lot::Mutex::new(ReaderMap {
+                        map: std::collections::HashMap::new(),
+                        queue: std::collections::VecDeque::new(),
+                        tick: 0,
+                        cap: per_shard_cap,
+                    }),
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         })
+    }
+
+    fn shard_of(&self, number: u64) -> &TableCacheShard {
+        // Fibonacci multiplicative hash: file numbers are sequential, so a
+        // plain modulus would put consecutive L0 files in adjacent shards
+        // but stripe badly once levels skip numbers.
+        let mixed = number.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 32) as usize % self.shards.len()]
     }
 
     /// Opens (or returns the cached) reader for `meta`.
@@ -139,27 +189,38 @@ impl TableCache {
     ///
     /// Filesystem or corruption errors from opening the table.
     pub fn reader(&self, meta: &Arc<FileMetaData>) -> DbResult<Arc<TableReader>> {
-        if let Some(r) = self.readers.lock().touch(meta.number) {
+        let shard = self.shard_of(meta.number);
+        if let Some(r) = shard.locked(|m| m.touch(meta.number)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(r);
         }
-        // Open outside the lock (it performs reads).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Open outside the shard gate (it performs reads).
         let file = self.fs.open(&sst_file_name(&self.db_path, meta.number))?;
         let reader = Arc::new(TableReader::open(
             file,
             meta.number,
             Arc::clone(&self.block_cache),
         )?);
-        Ok(self.readers.lock().insert(meta.number, reader))
+        Ok(shard.locked(|m| m.insert(meta.number, reader)))
     }
 
     /// Currently cached open readers.
     pub fn open_readers(&self) -> usize {
-        self.readers.lock().map.len()
+        self.shards.iter().map(|s| s.readers.lock().map.len()).sum()
+    }
+
+    /// Lifetime `(hits, misses)` of reader lookups.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Drops cached state for a deleted file.
     pub fn evict(&self, number: u64) {
-        self.readers.lock().map.remove(&number);
+        self.shard_of(number).readers.lock().map.remove(&number);
         self.block_cache.remove_file(number);
     }
 
@@ -172,6 +233,39 @@ impl TableCache {
 // ---------------------------------------------------------------------------
 // Memtable state
 // ---------------------------------------------------------------------------
+
+/// Builds a memtable configured from `opts`: whole-key memtable bloom bits
+/// plus an expected-entry estimate derived from the write buffer size.
+fn new_memtable(opts: &DbOptions, id: u64) -> Arc<MemTable> {
+    // ≈ 48 bytes per skiplist entry (key + node overhead) is a deliberately
+    // low per-entry estimate: overshooting `expected_entries` only rounds
+    // the bloom up, it can never cause a false negative.
+    let expected = (opts.write_buffer_size / 48).max(1);
+    MemTable::with_bloom(id, opts.memtable_bloom_bits, expected)
+}
+
+/// Probes one memtable for `key`, consulting its whole-key bloom first when
+/// enabled: a bloom rejection answers without walking the skiplist at all,
+/// which is the entire point of `memtable_bloom_bits`.
+fn mem_probe(
+    m: &MemTable,
+    key: &[u8],
+    snapshot: SequenceNumber,
+    stats: &DbStats,
+) -> Option<Option<Vec<u8>>> {
+    if m.bloom_enabled() {
+        xlsm_sim::sleep_nanos(costs::BLOOM_CHECK_NS);
+        if !m.may_contain(key) {
+            stats.bump(Ticker::MemtableBloomUseful);
+            return None;
+        }
+    }
+    xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
+        m.num_entries().max(1),
+        m.approximate_bytes().max(1) as u64,
+    ));
+    m.get(key, snapshot)
+}
 
 struct MemState {
     mutable: Arc<MemTable>,
@@ -332,7 +426,7 @@ impl DbInner {
         let new_mem = {
             let mut mem = self.mem.lock();
             mem.next_mem_id += 1;
-            let new_mem = MemTable::new(mem.next_mem_id);
+            let new_mem = new_memtable(&self.opts, mem.next_mem_id);
             let old_mem = std::mem::replace(&mut mem.mutable, Arc::clone(&new_mem));
             let old_wal_number = mem.wal_number;
             mem.wal = new_wal;
@@ -423,8 +517,7 @@ impl DbInner {
         let sst_path = sst_file_name(&self.opts.db_path, number);
         let build = (|| {
             let file = self.fs.create(&sst_path)?;
-            let mut builder =
-                TableBuilder::new(file, self.opts.block_size, self.opts.bloom_bits_per_key);
+            let mut builder = TableBuilder::with_options(file, TableOptions::from(&self.opts));
             let mut iter = mem.iter();
             let mut ok = InternalIterator::seek_to_first(&mut iter)?;
             let mut cpu = 0u64;
@@ -700,6 +793,23 @@ fn parse_file_number(path: &str, suffix: &str) -> Option<u64> {
     name.strip_suffix(suffix)?.parse().ok()
 }
 
+/// The smallest user key greater than *every* key starting with `prefix`
+/// (`None` when no upper bound exists, i.e. `prefix` is empty or all
+/// `0xff`). Together with `prefix` itself this brackets exactly the
+/// starts-with set: `k` starts with `prefix` ⇔ `prefix ≤ k < successor`.
+fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last == 0xff {
+            out.pop();
+        } else {
+            *last += 1;
+            return Some(out);
+        }
+    }
+    None
+}
+
 impl WriteBackend for DbBackend {
     fn preprocess(&self, group_bytes: u64) -> DbResult<PreprocessStalls> {
         let inner = &self.inner;
@@ -845,6 +955,7 @@ impl Db {
             &db_path,
             opts.block_cache_capacity,
             opts.max_open_files,
+            opts.table_cache_shards,
         );
         let stats = DbStats::shared();
 
@@ -980,7 +1091,7 @@ impl Db {
         if !recovery_mem.is_empty() {
             let number = versions.new_file_number();
             let file = fs.create(&sst_file_name(&db_path, number))?;
-            let mut builder = TableBuilder::new(file, opts.block_size, opts.bloom_bits_per_key);
+            let mut builder = TableBuilder::with_options(file, TableOptions::from(&opts));
             let mem_arc = recovery_mem;
             let mut iter = mem_arc.iter();
             let mut ok = InternalIterator::seek_to_first(&mut iter)?;
@@ -1040,7 +1151,7 @@ impl Db {
             write_buffer_size: AtomicUsize::new(opts.write_buffer_size),
             l0_trigger_override: AtomicUsize::new(0),
             mem: parking_lot::Mutex::new(MemState {
-                mutable: MemTable::new(1),
+                mutable: new_memtable(&opts, 1),
                 wal,
                 wal_number,
                 immutables: Vec::new(),
@@ -1224,21 +1335,13 @@ impl Db {
             )
         };
         // Memtable.
-        xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
-            mutable.num_entries().max(1),
-            mutable.approximate_bytes().max(1) as u64,
-        ));
-        if let Some(found) = mutable.get(key, snapshot) {
+        if let Some(found) = mem_probe(&mutable, key, snapshot, &inner.stats) {
             inner.stats.bump(Ticker::GetHitMemtable);
             return Ok(found);
         }
         // Immutables, newest first.
         for m in immutables.iter().rev() {
-            xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
-                m.num_entries().max(1),
-                m.approximate_bytes().max(1) as u64,
-            ));
-            if let Some(found) = m.get(key, snapshot) {
+            if let Some(found) = mem_probe(m, key, snapshot, &inner.stats) {
                 inner.stats.bump(Ticker::GetHitImmutable);
                 return Ok(found);
             }
@@ -1343,21 +1446,13 @@ impl Db {
         // Outer None = unresolved; `Some(found)` carries hit-or-tombstone.
         let mut out: Vec<Option<Option<Vec<u8>>>> = vec![None; keys.len()];
         for (i, key) in keys.iter().enumerate() {
-            xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
-                mutable.num_entries().max(1),
-                mutable.approximate_bytes().max(1) as u64,
-            ));
-            if let Some(found) = mutable.get(key, snapshot) {
+            if let Some(found) = mem_probe(&mutable, key, snapshot, &inner.stats) {
                 inner.stats.bump(Ticker::GetHitMemtable);
                 out[i] = Some(found);
                 continue;
             }
             for m in immutables.iter().rev() {
-                xlsm_sim::sleep_nanos(costs::skiplist_search_ns(
-                    m.num_entries().max(1),
-                    m.approximate_bytes().max(1) as u64,
-                ));
-                if let Some(found) = m.get(key, snapshot) {
+                if let Some(found) = mem_probe(m, key, snapshot, &inner.stats) {
                     inner.stats.bump(Ticker::GetHitImmutable);
                     out[i] = Some(found);
                     break;
@@ -1506,7 +1601,83 @@ impl Db {
         Ok(DbScanner {
             iter: DbIterator::new(MergingIterator::new(children), snapshot),
             _version: version,
+            upper_bound: None,
         })
+    }
+
+    /// A scan cursor restricted to user keys starting with `prefix`,
+    /// already positioned on the first match.
+    ///
+    /// Two layers of pruning make this cheaper than [`Db::scan`]: SST files
+    /// whose key range cannot intersect `[prefix, successor(prefix))` are
+    /// never opened, and — when [`DbOptions::prefix_extractor`] is set to
+    /// exactly `prefix.len()` — files whose prefix bloom rules the prefix
+    /// out are skipped without touching a data block.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening tables.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> DbResult<DbScanner> {
+        let inner = &self.inner;
+        let snapshot = inner.versions.last_sequence();
+        let upper = prefix_successor(prefix);
+        let in_range = |f: &FileMetaData| {
+            types::user_key(&f.largest) >= prefix
+                && upper
+                    .as_deref()
+                    .is_none_or(|u| types::user_key(&f.smallest) < u)
+        };
+        let (mutable, immutables) = {
+            let mem = inner.mem.lock();
+            (
+                Arc::clone(&mem.mutable),
+                mem.immutables
+                    .iter()
+                    .map(|(m, _)| Arc::clone(m))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let version = inner.versions.current();
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        // Memtable blooms are whole-key, so the skiplists always join in.
+        children.push(Box::new(mutable.iter()));
+        for m in immutables.iter().rev() {
+            children.push(Box::new(m.iter()));
+        }
+        for level in 0..version.levels.len() {
+            let mut kept = Vec::new();
+            for f in &version.levels[level] {
+                if !in_range(f) {
+                    continue;
+                }
+                let reader = inner.table_cache.reader(f)?;
+                if !reader.may_contain_prefix(prefix) {
+                    inner.stats.bump(Ticker::PrefixBloomUseful);
+                    continue;
+                }
+                kept.push(Arc::clone(f));
+            }
+            if level == 0 {
+                // L0 files overlap; each needs its own merge child.
+                for f in kept {
+                    let reader = inner.table_cache.reader(&f)?;
+                    children.push(Box::new(reader.iter(Arc::clone(&inner.stats))));
+                }
+            } else if !kept.is_empty() {
+                children.push(Box::new(LevelIterator::new(
+                    kept,
+                    Arc::clone(&inner.table_cache),
+                    Arc::clone(&inner.stats),
+                )));
+            }
+        }
+        let mut scanner = DbScanner {
+            iter: DbIterator::new(MergingIterator::new(children), snapshot),
+            _version: version,
+            upper_bound: upper,
+        };
+        scanner.seek(prefix)?;
+        Ok(scanner)
     }
 
     /// Takes a consistent snapshot; reads through [`Db::get_at`] with
@@ -1729,6 +1900,11 @@ impl Db {
         self.inner.table_cache.block_cache().counters()
     }
 
+    /// Table cache reader-lookup counters `(hits, misses)`.
+    pub fn table_cache_counters(&self) -> (u64, u64) {
+        self.inner.table_cache.counters()
+    }
+
     /// Currently cached open table readers (bounded by
     /// `DbOptions::max_open_files`).
     pub fn open_table_readers(&self) -> usize {
@@ -1828,6 +2004,9 @@ impl Db {
 pub struct DbScanner {
     iter: DbIterator,
     _version: Arc<Version>,
+    /// Exclusive user-key upper bound (`None` = unbounded); set by
+    /// [`Db::scan_prefix`] so the cursor ends exactly where the prefix does.
+    upper_bound: Option<Vec<u8>>,
 }
 
 impl std::fmt::Debug for DbScanner {
@@ -1843,7 +2022,8 @@ impl DbScanner {
     ///
     /// Read failures.
     pub fn seek_to_first(&mut self) -> DbResult<bool> {
-        self.iter.seek_to_first()
+        self.iter.seek_to_first()?;
+        Ok(self.valid())
     }
 
     /// Positions at the first visible entry with user key ≥ `key`.
@@ -1852,7 +2032,8 @@ impl DbScanner {
     ///
     /// Read failures.
     pub fn seek(&mut self, key: &[u8]) -> DbResult<bool> {
-        self.iter.seek(key)
+        self.iter.seek(key)?;
+        Ok(self.valid())
     }
 
     /// Advances to the next visible user key.
@@ -1862,12 +2043,17 @@ impl DbScanner {
     /// Read failures.
     #[allow(clippy::should_implement_trait)] // fallible cursor, not an Iterator
     pub fn next(&mut self) -> DbResult<bool> {
-        self.iter.next()
+        self.iter.next()?;
+        Ok(self.valid())
     }
 
-    /// Whether positioned on an entry.
+    /// Whether positioned on an entry (inside the upper bound, if any).
     pub fn valid(&self) -> bool {
         self.iter.valid()
+            && self
+                .upper_bound
+                .as_deref()
+                .is_none_or(|u| self.iter.key() < u)
     }
 
     /// Current user key.
@@ -2037,6 +2223,136 @@ mod tests {
             );
             db.close();
         });
+    }
+
+    #[test]
+    fn prefix_successor_brackets_starts_with_set() {
+        assert_eq!(prefix_successor(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_successor(&[0x61, 0xff]), Some(vec![0x62]));
+        assert_eq!(prefix_successor(&[0xff, 0xff]), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn memtable_bloom_rejects_misses_without_skiplist_walks() {
+        Runtime::new().run(|| {
+            let opts = DbOptions {
+                memtable_bloom_bits: 10,
+                ..small_opts()
+            };
+            let (db, _fs) = open_db(opts);
+            for i in 0..200u32 {
+                db.put(format!("key{i:04}").as_bytes(), b"v").unwrap();
+            }
+            // Present keys must never be filtered.
+            for i in 0..200u32 {
+                assert_eq!(
+                    db.get(format!("key{i:04}").as_bytes()).unwrap(),
+                    Some(b"v".to_vec())
+                );
+            }
+            assert_eq!(db.stats().ticker(Ticker::MemtableBloomUseful), 0);
+            for i in 0..200u32 {
+                assert_eq!(db.get(format!("abs{i:04}").as_bytes()).unwrap(), None);
+            }
+            let useful = db.stats().ticker(Ticker::MemtableBloomUseful);
+            assert!(
+                useful > 180,
+                "memtable bloom should reject most absent keys, got {useful}"
+            );
+            db.close();
+        });
+    }
+
+    #[test]
+    fn scan_prefix_matches_filtered_full_scan_and_prunes_files() {
+        Runtime::new().run(|| {
+            let opts = DbOptions {
+                bloom_bits_per_key: 10,
+                prefix_extractor: Some(4),
+                ..small_opts()
+            };
+            let (db, _fs) = open_db(opts);
+            // Three prefix families spread over several SSTs plus the
+            // memtable; one key later deleted.
+            for round in 0..3u32 {
+                for i in 0..120u32 {
+                    let p = ["aaaa", "bbbb", "cccc"][(i % 3) as usize];
+                    db.put(format!("{p}{:04}", i + round).as_bytes(), &[b'v'; 64])
+                        .unwrap();
+                }
+                db.flush().unwrap();
+            }
+            db.delete(b"bbbb0004").unwrap();
+            db.put(b"bbbb9999", b"mem-only").unwrap();
+
+            let mut expect = Vec::new();
+            let mut full = db.scan().unwrap();
+            let mut ok = full.seek_to_first().unwrap();
+            while ok {
+                if full.key().starts_with(b"bbbb") {
+                    expect.push((full.key().to_vec(), full.value().to_vec()));
+                }
+                ok = full.next().unwrap();
+            }
+            assert!(!expect.is_empty());
+
+            let mut got = Vec::new();
+            let mut scan = db.scan_prefix(b"bbbb").unwrap();
+            let mut ok = scan.valid();
+            while ok {
+                got.push((scan.key().to_vec(), scan.value().to_vec()));
+                ok = scan.next().unwrap();
+            }
+            assert_eq!(got, expect, "prefix scan diverged from filtered scan");
+            assert!(got.iter().all(|(k, _)| !k.starts_with(b"bbbb0004")));
+            db.close();
+        });
+    }
+
+    #[test]
+    fn sharded_table_cache_speeds_up_multi_get_fanout() {
+        // Identical workloads, 1 shard vs 8: results must match and the
+        // sharded run must spend less virtual time in the fan-out phase.
+        let run = |shards: usize| {
+            let mut elapsed = 0u64;
+            let mut results = Vec::new();
+            let mut counters = (0, 0);
+            Runtime::new().run(|| {
+                let opts = DbOptions {
+                    table_cache_shards: shards,
+                    multi_get_parallelism: 8,
+                    ..small_opts()
+                };
+                let (db, _fs) = open_db(opts);
+                let value = vec![b'v'; 256];
+                for i in 0..3000u32 {
+                    db.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+                }
+                db.flush().unwrap();
+                db.wait_for_compactions();
+                let t0 = xlsm_sim::now_nanos();
+                for batch in 0..20u32 {
+                    let keys: Vec<String> = (0..32u32)
+                        .map(|i| format!("key{:06}", (batch * 151 + i * 89) % 3000))
+                        .collect();
+                    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+                    results.push(db.multi_get(&refs).unwrap());
+                }
+                elapsed = xlsm_sim::now_nanos() - t0;
+                counters = db.table_cache_counters();
+                db.close();
+            });
+            (elapsed, results, counters)
+        };
+        let (t1, r1, _) = run(1);
+        let (t8, r8, c8) = run(8);
+        assert_eq!(r1, r8, "sharding must not change read results");
+        assert!(c8.0 + c8.1 > 0, "table cache counters should move");
+        assert!(
+            t8 < t1,
+            "8 shards ({t8} ns) should beat 1 shard ({t1} ns) at fan-out 8"
+        );
     }
 
     #[test]

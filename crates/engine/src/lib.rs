@@ -6,8 +6,9 @@
 //!
 //! * a skiplist [`MemTable`] with mutable → immutable switching;
 //! * a write-ahead log ([`wal`]) with buffered appends and group commit;
-//! * SSTables ([`sst`]) with prefix-compressed blocks, optional bloom
-//!   filters, and a sharded decoded-block [`cache`];
+//! * SSTables ([`sst`]) with prefix-compressed blocks, optional per-block
+//!   compression ([`compress`]), whole-key + prefix bloom filters
+//!   ([`bloom`]), and a sharded decoded-block [`cache`];
 //! * leveled compaction with overlapping Level-0 semantics ([`version`],
 //!   [`compaction`]);
 //! * the **write controller of Algorithm 1** ([`controller`]) with a
@@ -48,6 +49,7 @@ pub mod bloom;
 pub mod cache;
 pub mod coding;
 pub mod compaction;
+pub mod compress;
 pub mod controller;
 pub mod costs;
 pub mod crc32c;
@@ -68,6 +70,7 @@ pub mod write;
 
 pub use batch::WriteBatch;
 pub use bgerror::{BackgroundError, BackgroundOp, ErrorSeverity};
+pub use compress::CompressionType;
 pub use db::Db;
 pub use error::{DbError, DbResult};
 pub use histogram::{Histogram, HistogramSummary};

@@ -29,6 +29,7 @@
 //! costs in virtual time (the point of concurrent memtable writes) and
 //! exercises the CAS-retry path under real interleavings.
 
+use crate::bloom::ConcurrentBloom;
 use crate::types::{
     self, compare_internal, make_internal_key, make_lookup_key, SequenceNumber, ValueType,
 };
@@ -120,6 +121,10 @@ pub struct MemTable {
     entries: AtomicU64,
     /// Sequence of the first entry inserted (for WAL retention decisions).
     first_seq: AtomicU64,
+    /// Optional whole-key bloom over user keys, populated *before* a node
+    /// is linked so readers that can see an entry always see its bits
+    /// (no false negatives, including on the concurrent insert path).
+    bloom: Option<ConcurrentBloom>,
 }
 
 impl std::fmt::Debug for MemTable {
@@ -135,6 +140,15 @@ impl std::fmt::Debug for MemTable {
 impl MemTable {
     /// Creates an empty memtable with the given id (for diagnostics).
     pub fn new(id: u64) -> Arc<MemTable> {
+        MemTable::with_bloom(id, 0, 0)
+    }
+
+    /// Creates an empty memtable with a whole-key bloom sized for
+    /// `expected_entries` at `bits_per_key` (`0` bits disables the filter —
+    /// equivalent to [`MemTable::new`]). The filter is fixed-size and
+    /// atomic, so overshooting the estimate only raises its false-positive
+    /// rate.
+    pub fn with_bloom(id: u64, bits_per_key: usize, expected_entries: usize) -> Arc<MemTable> {
         Arc::new(MemTable {
             id,
             arena: Arena::new(),
@@ -144,7 +158,22 @@ impl MemTable {
             approx_bytes: AtomicUsize::new(0),
             entries: AtomicU64::new(0),
             first_seq: AtomicU64::new(u64::MAX),
+            bloom: (bits_per_key > 0)
+                .then(|| ConcurrentBloom::new(bits_per_key, expected_entries.max(1))),
         })
+    }
+
+    /// Whether this memtable carries a whole-key bloom (callers charge the
+    /// filter-probe CPU cost only when it does).
+    pub fn bloom_enabled(&self) -> bool {
+        self.bloom.is_some()
+    }
+
+    /// Whether `user_key` may be present. `false` is definitive (the key
+    /// was never inserted); `true` means "search the skiplist". Without a
+    /// bloom this is always `true`.
+    pub fn may_contain(&self, user_key: &[u8]) -> bool {
+        self.bloom.as_ref().is_none_or(|b| b.may_contain(user_key))
     }
 
     /// This memtable's id.
@@ -260,6 +289,9 @@ impl MemTable {
     pub fn add(&self, seq: SequenceNumber, t: ValueType, user_key: &[u8], value: &[u8]) {
         let ikey = make_internal_key(user_key, seq, t);
         let charge = ikey.len() + value.len() + 48; // node overhead estimate
+        if let Some(b) = &self.bloom {
+            b.insert(user_key);
+        }
         self.insert(ikey, value.to_vec(), 0);
         self.record_entry(seq, charge);
     }
@@ -277,6 +309,11 @@ impl MemTable {
     ) {
         let ikey = make_internal_key(user_key, seq, t);
         let charge = ikey.len() + value.len() + 48;
+        // Bloom bits go in before the node links: anyone who can observe
+        // the entry already observes its bits, even mid-insert.
+        if let Some(b) = &self.bloom {
+            b.insert(user_key);
+        }
         self.insert(ikey, value.to_vec(), charge_ns);
         self.record_entry(seq, charge);
     }
@@ -569,6 +606,69 @@ mod tests {
                     Ordering::Less,
                     "ordering violated under concurrent insert"
                 );
+            }
+        });
+    }
+
+    #[test]
+    fn bloom_filters_absent_keys_and_never_present_ones() {
+        let m = MemTable::with_bloom(11, 10, 1024);
+        assert!(m.bloom_enabled());
+        for i in 0..1000u32 {
+            m.add(
+                i as u64 + 1,
+                ValueType::Value,
+                format!("in{i:05}").as_bytes(),
+                b"v",
+            );
+        }
+        for i in 0..1000u32 {
+            assert!(m.may_contain(format!("in{i:05}").as_bytes()));
+        }
+        let mut rejected = 0;
+        for i in 0..1000u32 {
+            if !m.may_contain(format!("out{i:05}").as_bytes()) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 900, "memtable bloom too permissive: {rejected}");
+        // Without a bloom, everything "may" be present.
+        let plain = MemTable::new(12);
+        assert!(!plain.bloom_enabled());
+        assert!(plain.may_contain(b"whatever"));
+    }
+
+    /// Concurrent inserters racing on the bloom + skiplist: a key visible
+    /// to `get` must always pass `may_contain` (no false negatives).
+    #[test]
+    fn concurrent_bloom_has_no_false_negatives() {
+        const THREADS: u64 = 16;
+        const PER_THREAD: u64 = 48;
+        Runtime::new().run(|| {
+            let m = MemTable::with_bloom(13, 10, (THREADS * PER_THREAD) as usize);
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let m = Arc::clone(&m);
+                handles.push(xlsm_sim::spawn(&format!("bins-{t}"), move || {
+                    for i in 0..PER_THREAD {
+                        let seq = t * PER_THREAD + i + 1;
+                        let key = format!("key-{t:02}-{i:04}");
+                        m.add_concurrent(seq, ValueType::Value, key.as_bytes(), b"v", 500);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            for t in 0..THREADS {
+                for i in 0..PER_THREAD {
+                    let key = format!("key-{t:02}-{i:04}");
+                    assert!(
+                        m.may_contain(key.as_bytes()),
+                        "false negative for {key} after concurrent insert"
+                    );
+                    assert!(m.get(key.as_bytes(), u64::MAX >> 8).is_some());
+                }
             }
         });
     }

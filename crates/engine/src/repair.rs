@@ -270,7 +270,7 @@ fn dump_memtable(
     opts: &DbOptions,
 ) -> DbResult<FileMetaData> {
     let file = fs.create(&sst_file_name(db_path, number))?;
-    let mut builder = TableBuilder::new(file, opts.block_size, opts.bloom_bits_per_key);
+    let mut builder = TableBuilder::with_options(file, crate::sst::TableOptions::from(opts));
     let mut iter = mem.iter();
     let mut ok = InternalIterator::seek_to_first(&mut iter)?;
     while ok {

@@ -3,20 +3,32 @@
 //! Layout (LevelDB-flavored):
 //!
 //! ```text
-//! [data block 0][crc32] [data block 1][crc32] …
-//! [bloom block]                (optional)
+//! [tag][data block 0][crc32] [tag][data block 1][crc32] …
+//! [filter block]               (optional: whole-key bloom + prefix bloom)
 //! [index block]                (last-key, offset, size per data block)
 //! [properties block]           (entry count, smallest/largest internal key)
 //! [footer: 6×u64 + magic u64]
 //! ```
 //!
 //! Data blocks use shared-prefix encoding with restart points every
-//! [`RESTART_INTERVAL`] entries. Readers go through the decoded-block cache;
-//! a miss charges the block read (filesystem + device) and the decode CPU.
+//! [`RESTART_INTERVAL`] entries. Each block is framed with a one-byte
+//! compression tag ([`crate::compress::CompressionType::tag`]) and a CRC
+//! over tag + payload; the *compressed* size is what the index records and
+//! what the device transfers, so compression directly changes simulated I/O
+//! cost. Readers go through the decoded-block cache; a miss charges the
+//! block read (filesystem + device), the decompression CPU (if compressed)
+//! and the decode CPU.
+//!
+//! The filter block carries a whole-key bloom and, when the table was built
+//! with a `prefix_extractor`, a second bloom over the fixed-length key
+//! prefixes (both sized by distinct keys; see [`crate::bloom`]). Filters
+//! are built *incrementally* as entries stream in — the builder retains one
+//! 32-bit hash per key, never the key bytes.
 
-use crate::bloom::BloomFilter;
+use crate::bloom::{BloomBuilder, BloomFilter};
 use crate::cache::{Block, BlockCache};
 use crate::coding::*;
+use crate::compress::{self, CompressionType};
 use crate::costs;
 use crate::crc32c;
 use crate::error::{DbError, DbResult};
@@ -91,13 +103,15 @@ impl BlockBuilder {
     }
 }
 
-/// Verifies the trailing CRC of a framed block and decodes it.
+/// Verifies the trailing CRC of a framed block, decompresses it if its tag
+/// says so (charging the decompression CPU and, when `stats` is given, the
+/// `BlockDecompressions`/`Block*Bytes` tickers), and decodes it.
 ///
 /// # Errors
 ///
 /// [`DbError::Corruption`] on checksum or structural failures.
-pub fn decode_framed(framed: &[u8], file_number: u64) -> DbResult<Block> {
-    if framed.len() < 4 {
+pub fn decode_framed(framed: &[u8], file_number: u64, stats: Option<&DbStats>) -> DbResult<Block> {
+    if framed.len() < 5 {
         return Err(DbError::Corruption("short block".into()));
     }
     let (data, crc_raw) = framed.split_at(framed.len() - 4);
@@ -107,8 +121,25 @@ pub fn decode_framed(framed: &[u8], file_number: u64) -> DbResult<Block> {
             "block crc mismatch in file {file_number}"
         )));
     }
-    xlsm_sim::sleep_nanos(costs::block_decode_ns(data.len()));
-    decode_block(data)
+    let (&tag, payload) = data.split_first().expect("length checked above");
+    if tag == CompressionType::None.tag() {
+        xlsm_sim::sleep_nanos(costs::block_decode_ns(payload.len()));
+        return decode_block(payload);
+    }
+    if tag == CompressionType::Rle.tag() {
+        xlsm_sim::sleep_nanos(costs::block_decompress_ns(payload.len()));
+        let raw = compress::rle_decompress(payload)?;
+        if let Some(s) = stats {
+            s.bump(Ticker::BlockDecompressions);
+            s.add(Ticker::BlockCompressedBytes, payload.len() as u64);
+            s.add(Ticker::BlockUncompressedBytes, raw.len() as u64);
+        }
+        xlsm_sim::sleep_nanos(costs::block_decode_ns(raw.len()));
+        return decode_block(&raw);
+    }
+    Err(DbError::Corruption(format!(
+        "unknown block compression tag {tag} in file {file_number}"
+    )))
 }
 
 /// Decodes a serialized data block into its entry list.
@@ -172,15 +203,53 @@ pub struct TableProperties {
     pub largest: Vec<u8>,
 }
 
+/// Build-time knobs for one SST, extracted from [`crate::DbOptions`] so the
+/// builder's call sites (flush, compaction, recovery, repair) plumb one
+/// value instead of a growing argument list.
+#[derive(Clone, Debug)]
+pub struct TableOptions {
+    /// Target uncompressed data-block size (bytes).
+    pub block_size: usize,
+    /// Bloom bits per key; `0` disables the filter block entirely.
+    pub bloom_bits_per_key: usize,
+    /// Per-block compression codec.
+    pub compression: CompressionType,
+    /// Fixed prefix length for the prefix bloom; needs
+    /// `bloom_bits_per_key > 0` to take effect.
+    pub prefix_extractor: Option<usize>,
+}
+
+impl Default for TableOptions {
+    fn default() -> TableOptions {
+        TableOptions {
+            block_size: 4096,
+            bloom_bits_per_key: 0,
+            compression: CompressionType::None,
+            prefix_extractor: None,
+        }
+    }
+}
+
+impl From<&crate::options::DbOptions> for TableOptions {
+    fn from(opts: &crate::options::DbOptions) -> TableOptions {
+        TableOptions {
+            block_size: opts.block_size,
+            bloom_bits_per_key: opts.bloom_bits_per_key,
+            compression: opts.compression,
+            prefix_extractor: opts.prefix_extractor,
+        }
+    }
+}
+
 /// Streams sorted internal entries into an SST file.
 #[derive(Debug)]
 pub struct TableBuilder {
     file: FileHandle,
-    block_size: usize,
-    bloom_bits: usize,
+    opts: TableOptions,
     block: BlockBuilder,
     index: Vec<(Vec<u8>, u64, u64)>, // (last key, offset, size)
-    user_keys: Vec<Vec<u8>>,         // for bloom (if enabled)
+    whole_bloom: Option<BloomBuilder>,
+    prefix_bloom: Option<BloomBuilder>,
     offset: u64,
     num_entries: u64,
     smallest: Vec<u8>,
@@ -188,15 +257,32 @@ pub struct TableBuilder {
 }
 
 impl TableBuilder {
-    /// Starts building into `file`.
+    /// Starts building into `file` (uncompressed, whole-key bloom only) —
+    /// shorthand for [`TableBuilder::with_options`].
     pub fn new(file: FileHandle, block_size: usize, bloom_bits: usize) -> TableBuilder {
+        TableBuilder::with_options(
+            file,
+            TableOptions {
+                block_size,
+                bloom_bits_per_key: bloom_bits,
+                ..TableOptions::default()
+            },
+        )
+    }
+
+    /// Starts building into `file` with full [`TableOptions`].
+    pub fn with_options(file: FileHandle, opts: TableOptions) -> TableBuilder {
+        let whole_bloom =
+            (opts.bloom_bits_per_key > 0).then(|| BloomBuilder::new(opts.bloom_bits_per_key));
+        let prefix_bloom = (opts.bloom_bits_per_key > 0 && opts.prefix_extractor.is_some())
+            .then(|| BloomBuilder::new(opts.bloom_bits_per_key));
         TableBuilder {
             file,
-            block_size,
-            bloom_bits,
+            opts,
             block: BlockBuilder::default(),
             index: Vec::new(),
-            user_keys: Vec::new(),
+            whole_bloom,
+            prefix_bloom,
             offset: 0,
             num_entries: 0,
             smallest: Vec::new(),
@@ -219,12 +305,18 @@ impl TableBuilder {
             self.smallest = ikey.to_vec();
         }
         self.largest = ikey.to_vec();
-        if self.bloom_bits > 0 {
-            self.user_keys.push(types::user_key(ikey).to_vec());
+        let uk = types::user_key(ikey);
+        if let Some(b) = &mut self.whole_bloom {
+            b.add_key(uk);
+        }
+        if let (Some(b), Some(len)) = (&mut self.prefix_bloom, self.opts.prefix_extractor) {
+            if uk.len() >= len {
+                b.add_key(&uk[..len]);
+            }
         }
         self.block.add(ikey, value);
         self.num_entries += 1;
-        if self.block.size_estimate() >= self.block_size {
+        if self.block.size_estimate() >= self.opts.block_size {
             self.flush_block()?;
         }
         Ok(())
@@ -237,14 +329,27 @@ impl TableBuilder {
         let last_key = self.block.last_key.clone();
         let block = std::mem::take(&mut self.block);
         let data = block.finish();
-        let crc = crc32c::masked(crc32c::crc32c(&data));
-        let mut framed = data;
+        let (tag, payload) = compress::compress_block(self.opts.compression, data);
+        let mut framed = Vec::with_capacity(payload.len() + 5);
+        framed.push(tag);
+        framed.extend_from_slice(&payload);
+        let crc = crc32c::masked(crc32c::crc32c(&framed));
         put_fixed32(&mut framed, crc);
         let size = framed.len() as u64;
         self.file.append(&framed)?;
         self.index.push((last_key, self.offset, size));
         self.offset += size;
         Ok(())
+    }
+
+    /// Bytes of heap currently held for filter construction. The builder
+    /// keeps one 32-bit hash per distinct key — never the user keys
+    /// themselves — so this stays far below the size of the keys streamed
+    /// through (the regression guard for the old `user_keys: Vec<Vec<u8>>`
+    /// buffer that doubled flush memory).
+    pub fn filter_memory_bytes(&self) -> usize {
+        self.whole_bloom.as_ref().map_or(0, |b| b.memory_bytes())
+            + self.prefix_bloom.as_ref().map_or(0, |b| b.memory_bytes())
     }
 
     /// Number of entries added so far.
@@ -257,7 +362,7 @@ impl TableBuilder {
         self.offset
     }
 
-    /// Finishes the table: writes bloom/index/properties/footer and syncs.
+    /// Finishes the table: writes filter/index/properties/footer and syncs.
     ///
     /// # Errors
     ///
@@ -269,14 +374,25 @@ impl TableBuilder {
         }
         self.flush_block()?;
 
-        // Bloom block.
+        // Filter block: length-prefixed whole-key filter, then the prefix
+        // length the prefix filter was built with (0 = none), then the
+        // length-prefixed prefix filter.
         let bloom_off = self.offset;
         let mut bloom_len = 0u64;
-        if self.bloom_bits > 0 {
-            let keys: Vec<&[u8]> = self.user_keys.iter().map(|k| k.as_slice()).collect();
-            let filter = BloomFilter::new(self.bloom_bits).build(&keys);
-            bloom_len = filter.len() as u64;
-            self.file.append(&filter)?;
+        let whole = self.whole_bloom.take().map(BloomBuilder::finish);
+        let prefix = self.prefix_bloom.take().map(BloomBuilder::finish);
+        if whole.is_some() || prefix.is_some() {
+            let mut buf = Vec::new();
+            put_length_prefixed(&mut buf, whole.as_deref().unwrap_or(&[]));
+            match (&prefix, self.opts.prefix_extractor) {
+                (Some(pf), Some(len)) => {
+                    put_varint64(&mut buf, len as u64);
+                    put_length_prefixed(&mut buf, pf);
+                }
+                _ => put_varint64(&mut buf, 0),
+            }
+            bloom_len = buf.len() as u64;
+            self.file.append(&buf)?;
             self.offset += bloom_len;
         }
 
@@ -345,14 +461,40 @@ pub struct TableProbe {
 /// `(internal key, value)` entry.
 pub type TableHit = (usize, (Vec<u8>, Vec<u8>));
 
-/// Open handle to one SST: parsed index + bloom, block access via cache.
+/// Open handle to one SST: parsed index + filters, block access via cache.
 pub struct TableReader {
     file: FileHandle,
     file_number: u64,
     cache: Arc<BlockCache>,
     index: Vec<(Vec<u8>, u64, u64)>,
     bloom: Option<Vec<u8>>,
+    prefix_bloom: Option<Vec<u8>>,
+    prefix_len: Option<usize>,
     props: TableProperties,
+}
+
+/// `(whole-key filter, prefix filter, prefix length)` as read from a
+/// serialized filter block.
+type ParsedFilters = (Option<Vec<u8>>, Option<Vec<u8>>, Option<usize>);
+
+/// Parses a serialized filter block into
+/// `(whole-key filter, prefix filter, prefix length)`.
+fn parse_filter_block(raw: &[u8]) -> DbResult<ParsedFilters> {
+    let mut off = 0usize;
+    let whole = get_length_prefixed(raw, &mut off)
+        .ok_or_else(|| DbError::Corruption("bad whole-key filter".into()))?
+        .to_vec();
+    let whole = (!whole.is_empty()).then_some(whole);
+    let prefix_len = get_varint64(raw, &mut off)
+        .ok_or_else(|| DbError::Corruption("bad prefix filter length".into()))?
+        as usize;
+    if prefix_len == 0 {
+        return Ok((whole, None, None));
+    }
+    let prefix = get_length_prefixed(raw, &mut off)
+        .ok_or_else(|| DbError::Corruption("bad prefix filter".into()))?
+        .to_vec();
+    Ok((whole, Some(prefix), Some(prefix_len)))
 }
 
 impl std::fmt::Debug for TableReader {
@@ -408,10 +550,10 @@ impl TableReader {
             index.push((key, boff, bsize));
         }
 
-        let bloom = if bloom_len > 0 {
-            Some(file.read_at(bloom_off, bloom_len as usize)?)
+        let (bloom, prefix_bloom, prefix_len) = if bloom_len > 0 {
+            parse_filter_block(&file.read_at(bloom_off, bloom_len as usize)?)?
         } else {
-            None
+            (None, None, None)
         };
 
         let props_raw = file.read_at(props_off, props_len as usize)?;
@@ -431,6 +573,8 @@ impl TableReader {
             cache,
             index,
             bloom,
+            prefix_bloom,
+            prefix_len,
             props: TableProperties {
                 file_size: size,
                 num_entries,
@@ -467,9 +611,42 @@ impl TableReader {
         }
         stats.bump(Ticker::BlockCacheMiss);
         let framed = self.file.read_at(off, size as usize)?;
-        let block = Arc::new(decode_framed(&framed, self.file_number)?);
+        let block = Arc::new(decode_framed(&framed, self.file_number, Some(stats))?);
         self.cache.insert(key, Arc::clone(&block));
         Ok(block)
+    }
+
+    /// Whether the table *may* contain any key starting with `prefix`.
+    /// Only decisive when the table carries a prefix filter built with
+    /// exactly `prefix.len()` — any other configuration answers `true`
+    /// (conservative).
+    pub fn may_contain_prefix(&self, prefix: &[u8]) -> bool {
+        match (&self.prefix_bloom, self.prefix_len) {
+            (Some(pf), Some(len)) if len == prefix.len() => BloomFilter::may_contain(pf, prefix),
+            _ => true,
+        }
+    }
+
+    /// Checks the prefix filter for a point lookup of `user_key` (charging
+    /// the filter-probe cost). `false` means no key with `user_key`'s
+    /// prefix exists in the table, so the lookup itself cannot hit: a key
+    /// starting with the extractor's `len`-byte prefix is at least `len`
+    /// bytes long and therefore always in the transform's domain. Keys
+    /// shorter than the prefix bypass the filter (`true`).
+    fn prefix_may_match(&self, user_key: &[u8], stats: &DbStats) -> bool {
+        let (Some(pf), Some(len)) = (&self.prefix_bloom, self.prefix_len) else {
+            return true;
+        };
+        if user_key.len() < len {
+            return true;
+        }
+        xlsm_sim::sleep_nanos(costs::BLOOM_CHECK_NS);
+        if BloomFilter::may_contain(pf, &user_key[..len]) {
+            true
+        } else {
+            stats.bump(Ticker::PrefixBloomUseful);
+            false
+        }
     }
 
     /// Index of the first block whose last key is ≥ `ikey`, or None.
@@ -493,7 +670,9 @@ impl TableReader {
         user_key: &[u8],
         stats: &DbStats,
     ) -> DbResult<Option<(Vec<u8>, Vec<u8>)>> {
-        xlsm_sim::sleep_nanos(costs::TABLE_LOOKUP_BASE_NS);
+        // Filter blocks are resident with the open reader, so a rejection
+        // answers before the per-table index setup is ever paid — that skip
+        // is the whole value of the filters on a deep Level-0.
         if let Some(bloom) = &self.bloom {
             xlsm_sim::sleep_nanos(costs::BLOOM_CHECK_NS);
             if !BloomFilter::may_contain(bloom, user_key) {
@@ -501,6 +680,10 @@ impl TableReader {
                 return Ok(None);
             }
         }
+        if !self.prefix_may_match(user_key, stats) {
+            return Ok(None);
+        }
+        xlsm_sim::sleep_nanos(costs::TABLE_LOOKUP_BASE_NS);
         let Some(bi) = self.block_for(lookup) else {
             return Ok(None);
         };
@@ -529,9 +712,11 @@ impl TableReader {
     ///
     /// Corruption or filesystem errors.
     pub fn get_many(&self, probes: &[TableProbe], stats: &DbStats) -> DbResult<Vec<TableHit>> {
-        xlsm_sim::sleep_nanos(costs::TABLE_LOOKUP_BASE_NS);
         // Resolve each probe to its block first so block loads can be
         // shared; `by_block` is sorted so one block is decoded exactly once.
+        // The per-table index setup is paid once, and only if at least one
+        // probe survives the resident filter blocks.
+        let mut charged_base = false;
         let mut by_block: Vec<(usize, usize)> = Vec::new(); // (block, probe idx)
         for (i, p) in probes.iter().enumerate() {
             if let Some(bloom) = &self.bloom {
@@ -540,6 +725,13 @@ impl TableReader {
                     stats.bump(Ticker::BloomUseful);
                     continue;
                 }
+            }
+            if !self.prefix_may_match(&p.user_key, stats) {
+                continue;
+            }
+            if !charged_base {
+                xlsm_sim::sleep_nanos(costs::TABLE_LOOKUP_BASE_NS);
+                charged_base = true;
             }
             if let Some(bi) = self.block_for(&p.lookup) {
                 by_block.push((bi, i));
@@ -648,7 +840,11 @@ impl TableIterator {
             let lo = (off - start) as usize;
             let framed = &buf[lo..lo + size as usize];
             self.block_idx = i;
-            self.block = Some(Arc::new(decode_framed(framed, self.table.file_number)?));
+            self.block = Some(Arc::new(decode_framed(
+                framed,
+                self.table.file_number,
+                Some(&self.stats),
+            )?));
             return Ok(true);
         }
         self.block_idx = i;
@@ -883,6 +1079,150 @@ mod tests {
     }
 
     #[test]
+    fn compressed_table_roundtrips_and_shrinks_io() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let value = vec![b'x'; 256]; // run-structured: RLE collapses it
+            let mut sizes = [0u64; 2];
+            for (slot, codec) in [CompressionType::None, CompressionType::Rle]
+                .into_iter()
+                .enumerate()
+            {
+                let name = format!("c{slot}.sst");
+                let f = fs.create(&name).unwrap();
+                let mut b = TableBuilder::with_options(
+                    f,
+                    TableOptions {
+                        compression: codec,
+                        ..TableOptions::default()
+                    },
+                );
+                for i in 0..400u32 {
+                    let k = make_internal_key(format!("key{i:06}").as_bytes(), 1, ValueType::Value);
+                    b.add(&k, &value).unwrap();
+                }
+                let props = b.finish().unwrap();
+                sizes[slot] = props.file_size;
+                let cache = BlockCache::new(1 << 20);
+                let t = TableReader::open(fs.open(&name).unwrap(), slot as u64 + 1, cache).unwrap();
+                let stats = DbStats::new();
+                for i in (0..400).step_by(13) {
+                    let uk = format!("key{i:06}");
+                    let lookup = make_lookup_key(uk.as_bytes(), u64::MAX >> 8);
+                    let (_, v) = t.get(&lookup, uk.as_bytes(), &stats).unwrap().unwrap();
+                    assert_eq!(v, value, "codec {codec:?} must round-trip");
+                }
+                if codec == CompressionType::Rle {
+                    assert!(stats.ticker(Ticker::BlockDecompressions) > 0);
+                    assert!(
+                        stats.ticker(Ticker::BlockCompressedBytes)
+                            < stats.ticker(Ticker::BlockUncompressedBytes) / 4
+                    );
+                } else {
+                    assert_eq!(stats.ticker(Ticker::BlockDecompressions), 0);
+                }
+            }
+            assert!(
+                sizes[1] < sizes[0] / 4,
+                "RLE file should be much smaller: {} vs {}",
+                sizes[1],
+                sizes[0]
+            );
+        });
+    }
+
+    #[test]
+    fn prefix_bloom_rejects_absent_prefixes() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let f = fs.create("p.sst").unwrap();
+            let mut b = TableBuilder::with_options(
+                f,
+                TableOptions {
+                    bloom_bits_per_key: 10,
+                    prefix_extractor: Some(4),
+                    ..TableOptions::default()
+                },
+            );
+            // 30 distinct 4-byte prefixes `pf00`..`pf29`, keys in order.
+            for p in 0..30u32 {
+                for i in 0..10u32 {
+                    let k = make_internal_key(
+                        format!("pf{p:02}-{i:06}").as_bytes(),
+                        1,
+                        ValueType::Value,
+                    );
+                    b.add(&k, b"v").unwrap();
+                }
+            }
+            b.finish().unwrap();
+            let cache = BlockCache::new(1 << 20);
+            let t = TableReader::open(fs.open("p.sst").unwrap(), 1, cache).unwrap();
+            for i in 0..30 {
+                assert!(t.may_contain_prefix(format!("pf{i:02}").as_bytes()));
+            }
+            let mut rejected = 0;
+            for i in 0..100 {
+                if !t.may_contain_prefix(format!("zz{i:02}").as_bytes()) {
+                    rejected += 1;
+                }
+            }
+            assert!(rejected > 90, "prefix bloom too permissive: {rejected}");
+            // Wrong query length → conservative true.
+            assert!(t.may_contain_prefix(b"zzzzz"));
+            assert!(t.may_contain_prefix(b"zz"));
+
+            // A point lookup whose prefix is absent is rejected by the
+            // prefix filter even when the whole-key bloom false-positives
+            // (forced here by probing with the whole-key filter text of a
+            // present key's prefix — use the ticker to observe the path).
+            let stats = DbStats::new();
+            let uk = b"zz99-suffix-not-present";
+            let lookup = make_lookup_key(uk, u64::MAX >> 8);
+            assert!(t.get(&lookup, uk, &stats).unwrap().is_none());
+            assert_eq!(
+                stats.ticker(Ticker::BloomUseful) + stats.ticker(Ticker::PrefixBloomUseful),
+                1,
+                "one of the two filters must have cut the probe"
+            );
+        });
+    }
+
+    #[test]
+    fn builder_retains_hashes_not_keys() {
+        // Regression: the builder used to buffer every user key until
+        // finish() (`user_keys: Vec<Vec<u8>>`), doubling flush/compaction
+        // memory. It must now hold only per-key hashes: 4 bytes per key
+        // (plus one scratch key), a small fraction of the streamed bytes.
+        Runtime::new().run(|| {
+            let fs = fs();
+            let f = fs.create("m.sst").unwrap();
+            let mut b = TableBuilder::with_options(
+                f,
+                TableOptions {
+                    bloom_bits_per_key: 10,
+                    prefix_extractor: Some(8),
+                    ..TableOptions::default()
+                },
+            );
+            let mut key_bytes = 0usize;
+            for i in 0..20_000u32 {
+                let uk = format!("a-fairly-long-user-key-{i:012}");
+                key_bytes += uk.len();
+                let k = make_internal_key(uk.as_bytes(), 1, ValueType::Value);
+                b.add(&k, b"v").unwrap();
+            }
+            assert!(
+                b.filter_memory_bytes() < key_bytes / 4,
+                "filter state holds {} bytes for {} bytes of keys — keys are being retained",
+                b.filter_memory_bytes(),
+                key_bytes
+            );
+            b.finish().unwrap();
+        });
+    }
+
+    #[test]
     fn corruption_detected() {
         Runtime::new().run(|| {
             let fs = fs();
@@ -950,6 +1290,8 @@ mod proptests {
         fn table_roundtrip_arbitrary_keys(
             keys in prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..24), 1..120),
             bloom in prop::bool::ANY,
+            compress in prop::bool::ANY,
+            prefix in prop::option::of(1usize..6),
         ) {
             let keys: Vec<Vec<u8>> = keys.into_iter().collect();
             Runtime::new().run(move || {
@@ -958,7 +1300,12 @@ mod proptests {
                     FsOptions::default(),
                 );
                 let file = fs.create("p.sst").unwrap();
-                let mut b = TableBuilder::new(file, 512, if bloom { 10 } else { 0 });
+                let mut b = TableBuilder::with_options(file, TableOptions {
+                    block_size: 512,
+                    bloom_bits_per_key: if bloom { 10 } else { 0 },
+                    compression: if compress { CompressionType::Rle } else { CompressionType::None },
+                    prefix_extractor: prefix,
+                });
                 for (i, k) in keys.iter().enumerate() {
                     let ik = make_internal_key(k, i as u64 + 1, ValueType::Value);
                     b.add(&ik, format!("v{i}").as_bytes()).unwrap();

@@ -65,6 +65,19 @@ pub enum Ticker {
     /// `Db::open` (outputs stranded by a crash before their manifest
     /// install).
     OrphanFilesDeleted,
+    /// Compressed data blocks decompressed on the read path.
+    BlockDecompressions,
+    /// On-disk (compressed) bytes of those blocks; together with
+    /// `BlockUncompressedBytes` this yields the realized compression ratio.
+    BlockCompressedBytes,
+    /// In-memory (decompressed) bytes of those blocks.
+    BlockUncompressedBytes,
+    /// SST probes skipped because the table's prefix bloom rejected the
+    /// query prefix.
+    PrefixBloomUseful,
+    /// Memtable searches skipped because the memtable's whole-key bloom
+    /// rejected the key.
+    MemtableBloomUseful,
     TickerCount, // sentinel
 }
 

@@ -12,4 +12,7 @@ cargo run -q --release -p xlsm-bench --bin parallelism -- BENCH_parallelism.json
 echo "==> writepath probe -> BENCH_writepath.json"
 cargo run -q --release -p xlsm-bench --bin writepath -- BENCH_writepath.json
 
+echo "==> readpath probe -> BENCH_readpath.json"
+cargo run -q --release -p xlsm-bench --bin readpath -- BENCH_readpath.json
+
 echo "==> done"

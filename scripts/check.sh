@@ -27,7 +27,8 @@ cargo fmt --check
 echo "==> determinism: parallelism probe twice with one seed, byte-identical JSON"
 par_a="$(mktemp)" par_b="$(mktemp)"
 wp_a="$(mktemp)" wp_b="$(mktemp)"
-trap 'rm -f "$par_a" "$par_b" "$wp_a" "$wp_b"' EXIT
+rp_a="$(mktemp)" rp_b="$(mktemp)"
+trap 'rm -f "$par_a" "$par_b" "$wp_a" "$wp_b" "$rp_a" "$rp_b"' EXIT
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_a" >/dev/null
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_b" >/dev/null
 cmp "$par_a" "$par_b"
@@ -36,5 +37,10 @@ echo "==> determinism: writepath probe twice with one seed, byte-identical JSON"
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin writepath -- "$wp_a" >/dev/null
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin writepath -- "$wp_b" >/dev/null
 cmp "$wp_a" "$wp_b"
+
+echo "==> determinism: readpath probe twice with one seed, byte-identical JSON"
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin readpath -- "$rp_a" >/dev/null
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin readpath -- "$rp_b" >/dev/null
+cmp "$rp_a" "$rp_b"
 
 echo "==> all checks passed"
