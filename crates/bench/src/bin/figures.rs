@@ -19,7 +19,8 @@ fn main() {
         eprintln!(
             "usage: figures [--quick] <all | fig01 | fig03 | fig04 | fig05 | fig06 | fig07 | \
              fig08 | fig09 | fig10 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | \
-             fig19 | fig20 | stalls | ext_skew | parallelism | writepath | readpath> ..."
+             fig19 | fig20 | stalls | ext_skew | parallelism | writepath | readpath | \
+             integrity> ..."
         );
         std::process::exit(2);
     }
@@ -102,6 +103,9 @@ fn main() {
     }
     if want("readpath") {
         emit(figures::fig_readpath(&cfg));
+    }
+    if want("integrity") {
+        emit(figures::fig_integrity(&cfg));
     }
 
     if count == 0 {

@@ -9,7 +9,7 @@ use xlsm_core::casestudy::dynamic_l0::{DynamicL0Config, DynamicL0Manager};
 use xlsm_core::casestudy::nvm_wal::{apply_wal_placement, WalPlacement};
 use xlsm_core::report::{f, stall_breakdown_table, stall_timeline_table, Table};
 use xlsm_core::TwoStageThrottlePolicy;
-use xlsm_engine::DbOptions;
+use xlsm_engine::{DbOptions, Ticker};
 use xlsm_sim::Runtime;
 use xlsm_workload::{
     raw_mixed_kops, run_workload, BurstSpec, KeyDistribution, Sampler, WorkloadSpec,
@@ -651,6 +651,89 @@ pub fn fig_writepath(cfg: &BenchConfig) -> Vec<Figure> {
 /// probe live in [`crate::readpath`].
 pub fn fig_readpath(cfg: &BenchConfig) -> Vec<Figure> {
     crate::readpath::run(cfg).tables()
+}
+
+// ---------------------------------------------------------------------------
+// Extension — end-to-end integrity cost (protection + scrubber)
+// ---------------------------------------------------------------------------
+
+/// Extension experiment: what end-to-end data integrity costs on the
+/// fastest device, where software overhead is least hideable (the same
+/// logic as Finding #3). Two tables:
+/// * `integrity_protection` — write throughput and put latency vs
+///   `protection_bytes_per_key` (0 = off, 1/8 = truncated/full per-KV
+///   checksums carried batch → WAL → memtable → flush), 90 % writes;
+/// * `integrity_scrub` — foreground throughput and read tail vs the
+///   background scrubber's pacing budget, plus how many bytes each budget
+///   actually re-verified and how many full passes it completed, 1:1 mix.
+pub fn fig_integrity(cfg: &BenchConfig) -> Vec<Figure> {
+    let xpoint = xlsm_device::profiles::optane_900p();
+    let mut prot = Table::new(
+        "Integrity: per-KV protection write overhead, 90% writes, 3D XPoint",
+        &[
+            "protection_bytes",
+            "kops",
+            "put_p50_us",
+            "put_p90_us",
+            "put_p99_us",
+        ],
+    );
+    for width in [0usize, 1, 8] {
+        let opts = DbOptions {
+            protection_bytes_per_key: width,
+            ..DbOptions::default()
+        };
+        let r = run_one(
+            xpoint.clone(),
+            opts,
+            cfg,
+            cfg.spec().with_threads(4).with_write_fraction(0.9),
+        );
+        prot.row(vec![
+            format!("{width}"),
+            f(r.kops(), 1),
+            f(us(r.write_latency.p50_ns), 1),
+            f(us(r.write_latency.p90_ns), 1),
+            f(us(r.write_latency.p99_ns), 1),
+        ]);
+    }
+    let mut scrub = Table::new(
+        "Integrity: background scrubber pacing, 1:1 R/W, 3D XPoint",
+        &[
+            "scrub_mib_s",
+            "kops",
+            "get_p99_us",
+            "verified_mib",
+            "passes",
+        ],
+    );
+    for rate_mib in [0u64, 16, 64] {
+        let opts = DbOptions {
+            protection_bytes_per_key: 8,
+            scrub_rate_bytes_per_sec: rate_mib << 20,
+            ..DbOptions::default()
+        };
+        let spec = cfg.spec().with_threads(4).with_write_fraction(0.5);
+        let (r, verified, passes) = with_testbed(xpoint.clone(), opts, cfg, move |tb| {
+            let r = run_workload(&tb.db, &spec);
+            (
+                r,
+                tb.db.stats().ticker(Ticker::ScrubBytesVerified),
+                tb.db.metrics().scrub_pass.count,
+            )
+        });
+        scrub.row(vec![
+            format!("{rate_mib}"),
+            f(r.kops(), 1),
+            f(us(r.read_latency.p99_ns), 1),
+            f(verified as f64 / (1 << 20) as f64, 1),
+            format!("{passes}"),
+        ]);
+    }
+    vec![
+        ("integrity_protection".into(), prot),
+        ("integrity_scrub".into(), scrub),
+    ]
 }
 
 /// Every figure in paper order. This is what `figures all` runs.

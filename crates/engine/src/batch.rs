@@ -3,9 +3,16 @@
 //! Encoding (LevelDB-compatible in spirit):
 //! `[sequence u64][count u32]` then per op `[tag u8][key][value?]` with
 //! length-prefixed slices.
+//!
+//! When [`WriteBatch::enable_protection`] is on, a per-entry checksum
+//! sidecar ([`crate::integrity`]) travels with the batch in memory — it is
+//! *not* part of the serialized representation (the WAL has its own record
+//! CRCs) but is carried verbatim through group-commit merges and verified
+//! at every handoff down to the memtable insert.
 
 use crate::coding::*;
 use crate::error::{DbError, DbResult};
+use crate::integrity;
 use crate::memtable::MemTable;
 use crate::types::{SequenceNumber, ValueType};
 
@@ -16,6 +23,11 @@ const HEADER: usize = 12;
 pub struct WriteBatch {
     rep: Vec<u8>,
     count: u32,
+    /// Per-entry protection values, truncated to `prot_width` bytes each
+    /// (empty when protection is off).
+    prot: Vec<u64>,
+    /// Protection width in bytes (0 = off).
+    prot_width: usize,
 }
 
 impl Default for WriteBatch {
@@ -30,7 +42,18 @@ impl WriteBatch {
         WriteBatch {
             rep: vec![0; HEADER],
             count: 0,
+            prot: Vec::new(),
+            prot_width: 0,
         }
+    }
+
+    /// An empty batch computing `width`-byte per-entry protection as
+    /// operations are queued. `width` must be in
+    /// [`integrity::VALID_PROTECTION_WIDTHS`].
+    pub fn with_protection(width: usize) -> WriteBatch {
+        let mut b = WriteBatch::new();
+        b.enable_protection(width);
+        b
     }
 
     /// Queues a put.
@@ -39,6 +62,12 @@ impl WriteBatch {
         put_length_prefixed(&mut self.rep, key);
         put_length_prefixed(&mut self.rep, value);
         self.count += 1;
+        if self.prot_width > 0 {
+            self.prot.push(integrity::truncate_protection(
+                integrity::entry_protection(ValueType::Value, key, value),
+                self.prot_width,
+            ));
+        }
     }
 
     /// Queues a deletion.
@@ -46,13 +75,20 @@ impl WriteBatch {
         self.rep.push(ValueType::Deletion as u8);
         put_length_prefixed(&mut self.rep, key);
         self.count += 1;
+        if self.prot_width > 0 {
+            self.prot.push(integrity::truncate_protection(
+                integrity::entry_protection(ValueType::Deletion, key, &[]),
+                self.prot_width,
+            ));
+        }
     }
 
-    /// Empties the batch.
+    /// Empties the batch (protection width is retained).
     pub fn clear(&mut self) {
         self.rep.truncate(HEADER);
         self.rep.fill(0);
         self.count = 0;
+        self.prot.clear();
     }
 
     /// Number of operations queued.
@@ -71,6 +107,7 @@ impl WriteBatch {
     }
 
     /// Stamps the starting sequence number (done by the group leader).
+    /// Protection is sequence-independent, so no sidecar recompute happens.
     pub fn set_sequence(&mut self, seq: SequenceNumber) {
         self.rep[0..8].copy_from_slice(&seq.to_le_bytes());
         self.rep[8..12].copy_from_slice(&self.count.to_le_bytes());
@@ -86,7 +123,98 @@ impl WriteBatch {
         &self.rep
     }
 
-    /// Reconstructs a batch from serialized bytes (WAL replay).
+    /// The configured protection width in bytes (0 = off).
+    pub fn protection_width(&self) -> usize {
+        self.prot_width
+    }
+
+    /// Switches per-entry protection to `width` bytes, (re)computing the
+    /// sidecar for already-queued operations when the width changes.
+    /// `width` must be in [`integrity::VALID_PROTECTION_WIDTHS`]; `0`
+    /// disables protection and drops the sidecar.
+    pub fn enable_protection(&mut self, width: usize) {
+        debug_assert!(integrity::VALID_PROTECTION_WIDTHS.contains(&width));
+        if width == self.prot_width {
+            return;
+        }
+        self.prot_width = width;
+        self.prot.clear();
+        if width == 0 {
+            return;
+        }
+        // Iterate the serialized ops; an undecodable batch gets an empty
+        // sidecar and fails verification downstream instead of panicking.
+        let mut prot = Vec::with_capacity(self.count() as usize);
+        for op in self.iter() {
+            let Ok((t, key, value)) = op else { break };
+            prot.push(integrity::truncate_protection(
+                integrity::entry_protection(t, key, value),
+                width,
+            ));
+        }
+        self.prot = prot;
+    }
+
+    /// Verifies every queued entry against the protection sidecar —
+    /// `layer` names the handoff for the error message. No-op when
+    /// protection is off.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] on the first mismatching (or missing) entry.
+    pub fn verify_protection(&self, layer: &str) -> DbResult<()> {
+        if self.prot_width == 0 {
+            return Ok(());
+        }
+        let mut n = 0usize;
+        for (i, op) in self.iter().enumerate() {
+            let (t, key, value) = op?;
+            let Some(&stored) = self.prot.get(i) else {
+                return Err(DbError::corruption(format!(
+                    "per-key protection missing at {layer} (entry {i})"
+                )));
+            };
+            integrity::verify_entry(stored, self.prot_width, t, key, value, layer, i)?;
+            n += 1;
+        }
+        if n != self.prot.len() {
+            return Err(DbError::corruption(format!(
+                "per-key protection count mismatch at {layer}: {} values for {n} entries",
+                self.prot.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Verifies the `index`-th entry (already decoded as `(t, key, value)`)
+    /// against the sidecar. No-op when protection is off. Used by the
+    /// concurrent memtable-insert path, which decodes entries itself.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] on mismatch.
+    pub fn verify_entry(
+        &self,
+        index: usize,
+        t: ValueType,
+        key: &[u8],
+        value: &[u8],
+        layer: &str,
+    ) -> DbResult<()> {
+        if self.prot_width == 0 {
+            return Ok(());
+        }
+        let Some(&stored) = self.prot.get(index) else {
+            return Err(DbError::corruption(format!(
+                "per-key protection missing at {layer} (entry {index})"
+            )));
+        };
+        integrity::verify_entry(stored, self.prot_width, t, key, value, layer, index)
+    }
+
+    /// Reconstructs a batch from serialized bytes (WAL replay). Protection
+    /// starts disabled; the replay path re-enables it after the WAL record
+    /// CRC has vouched for the bytes.
     ///
     /// # Errors
     ///
@@ -98,6 +226,8 @@ impl WriteBatch {
         let b = WriteBatch {
             rep: data.to_vec(),
             count: u32::from_le_bytes(data[8..12].try_into().unwrap()),
+            prot: Vec::new(),
+            prot_width: 0,
         };
         // Validate structure eagerly.
         let mut n = 0;
@@ -106,7 +236,7 @@ impl WriteBatch {
             n += 1;
         }
         if n != b.count {
-            return Err(DbError::Corruption(format!(
+            return Err(DbError::corruption(format!(
                 "batch count mismatch: header {} actual {n}",
                 b.count
             )));
@@ -123,23 +253,44 @@ impl WriteBatch {
     }
 
     /// Applies all operations to `mem`, assigning consecutive sequence
-    /// numbers starting at the batch's stamped sequence.
+    /// numbers starting at the batch's stamped sequence. With protection
+    /// enabled each entry is verified against its sidecar immediately
+    /// before insertion — the final handoff of the protection chain.
     ///
     /// # Errors
     ///
-    /// [`DbError::Corruption`] if the payload is malformed.
+    /// [`DbError::Corruption`] if the payload is malformed or an entry
+    /// fails protection verification.
     pub fn apply_to(&self, mem: &MemTable) -> DbResult<()> {
-        for (seq, op) in (self.sequence()..).zip(self.iter()) {
+        for ((i, op), seq) in self.iter().enumerate().zip(self.sequence()..) {
             let (t, key, value) = op?;
+            self.verify_entry(i, t, key, value, "memtable insert")?;
             mem.add(seq, t, key, value);
         }
         Ok(())
     }
 
-    /// Merges `other`'s operations into `self` (group commit).
+    /// Merges `other`'s operations into `self` (group commit). The
+    /// protection sidecar is carried *verbatim* when widths match (so a
+    /// corruption during the merge stays detectable) and recomputed at
+    /// `self`'s width otherwise.
     pub fn append_batch(&mut self, other: &WriteBatch) {
         self.rep.extend_from_slice(&other.rep[HEADER..]);
         self.count += other.count;
+        if self.prot_width == 0 {
+            return;
+        }
+        if other.prot_width == self.prot_width {
+            self.prot.extend_from_slice(&other.prot);
+        } else {
+            for op in other.iter() {
+                let Ok((t, key, value)) = op else { break };
+                self.prot.push(integrity::truncate_protection(
+                    integrity::entry_protection(t, key, value),
+                    self.prot_width,
+                ));
+            }
+        }
     }
 }
 
@@ -162,7 +313,7 @@ impl<'a> Iterator for BatchIter<'a> {
         let t = match tag {
             0 => ValueType::Deletion,
             1 => ValueType::Value,
-            _ => return Some(Err(DbError::Corruption(format!("bad batch tag {tag}")))),
+            _ => return Some(Err(DbError::corruption(format!("bad batch tag {tag}")))),
         };
         let Some(key) = get_length_prefixed(self.data, &mut self.off) else {
             return Some(Err(DbError::Corruption("bad batch key".into())));
@@ -237,8 +388,8 @@ mod tests {
         b.set_sequence(10);
         b.apply_to(&mem).unwrap();
         // Sequence 11 (the second put) wins at the latest snapshot.
-        assert_eq!(mem.get(b"x", 100), Some(Some(b"2".to_vec())));
-        assert_eq!(mem.get(b"x", 10), Some(Some(b"1".to_vec())));
+        assert_eq!(mem.get(b"x", 100).unwrap(), Some(Some(b"2".to_vec())));
+        assert_eq!(mem.get(b"x", 10).unwrap(), Some(Some(b"1".to_vec())));
     }
 
     #[test]
@@ -253,7 +404,7 @@ mod tests {
         assert_eq!(leader.count(), 3);
         let mem = MemTable::new(0);
         leader.apply_to(&mem).unwrap();
-        assert_eq!(mem.get(b"c", 100), Some(Some(b"2".to_vec())));
+        assert_eq!(mem.get(b"c", 100).unwrap(), Some(Some(b"2".to_vec())));
     }
 
     #[test]
@@ -263,5 +414,69 @@ mod tests {
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.byte_size(), HEADER);
+    }
+
+    #[test]
+    fn protection_sidecar_follows_operations() {
+        for width in [1usize, 2, 4, 8] {
+            let mut b = WriteBatch::with_protection(width);
+            b.put(b"a", b"1");
+            b.delete(b"b");
+            b.set_sequence(42);
+            assert_eq!(b.protection_width(), width);
+            b.verify_protection("unit test").unwrap();
+        }
+    }
+
+    #[test]
+    fn protection_survives_merge_and_restamp() {
+        let mut leader = WriteBatch::with_protection(8);
+        leader.put(b"a", b"1");
+        let mut follower = WriteBatch::with_protection(8);
+        follower.put(b"b", b"2");
+        follower.delete(b"c");
+        leader.append_batch(&follower);
+        leader.set_sequence(99);
+        leader.verify_protection("post-merge").unwrap();
+        // Mixed widths: recomputed at the leader's width.
+        let mut narrow = WriteBatch::with_protection(2);
+        narrow.put(b"d", b"4");
+        leader.append_batch(&narrow);
+        leader.verify_protection("post-mixed-merge").unwrap();
+        assert_eq!(leader.count(), 4);
+    }
+
+    #[test]
+    fn protection_detects_rep_corruption() {
+        let mut b = WriteBatch::with_protection(8);
+        b.put(b"key", b"value");
+        b.set_sequence(1);
+        b.verify_protection("pre").unwrap();
+        // Flip one byte of the value in the serialized rep; the sidecar
+        // was computed from the clean bytes and must now mismatch.
+        let last = b.rep.len() - 1;
+        b.rep[last] ^= 0x01;
+        let e = b.verify_protection("wal encode").unwrap_err();
+        assert!(e.is_corruption(), "got {e:?}");
+        assert!(e.to_string().contains("wal encode"));
+        // apply_to must also refuse.
+        let mem = MemTable::new(0);
+        assert!(b.apply_to(&mem).is_err());
+    }
+
+    #[test]
+    fn enable_protection_retrofits_existing_entries() {
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.delete(b"b");
+        b.enable_protection(4);
+        b.verify_protection("retrofit").unwrap();
+        // Width change recomputes.
+        b.enable_protection(8);
+        b.verify_protection("widen").unwrap();
+        // Disabling drops the sidecar.
+        b.enable_protection(0);
+        assert_eq!(b.protection_width(), 0);
+        b.verify_protection("off").unwrap();
     }
 }

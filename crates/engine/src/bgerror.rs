@@ -22,6 +22,9 @@ pub enum BackgroundOp {
     Compaction,
     /// Obsolete-file deletion after a compaction.
     ObsoletePurge,
+    /// Background scrub: paced re-read and checksum verification of live
+    /// SSTs. A scrub-detected corruption is a hard error like any other.
+    Scrub,
 }
 
 /// How bad a background error is.

@@ -450,6 +450,7 @@ fn merge_into_edit(
                         smallest: props.smallest,
                         largest: props.largest,
                         num_entries: props.num_entries,
+                        file_crc: Some(props.file_crc),
                     },
                 ));
             }
@@ -533,6 +534,7 @@ mod tests {
             smallest: make_internal_key(lo, 1, ValueType::Value),
             largest: make_internal_key(hi, 1, ValueType::Value),
             num_entries: 10,
+            file_crc: None,
         }
     }
 

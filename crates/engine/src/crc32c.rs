@@ -27,12 +27,49 @@ static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
 
 /// CRC32-C of `data`.
 pub fn crc32c(data: &[u8]) -> u32 {
-    let table = TABLE.get_or_init(make_table);
-    let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xff) as usize];
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental CRC32-C over a stream of chunks — used for whole-file
+/// checksums (SSTs, WAL segments) where buffering the entire file just to
+/// hash it would be wasteful. `Hasher::new().update(a).update(b).finish()`
+/// equals `crc32c(a ++ b)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Hasher {
+    /// Internal (pre-inversion) CRC state.
+    state: u32,
+}
+
+impl Default for Hasher {
+    fn default() -> Hasher {
+        Hasher::new()
     }
-    !crc
+}
+
+impl Hasher {
+    /// A fresh hasher (equivalent to having hashed zero bytes).
+    pub fn new() -> Hasher {
+        Hasher { state: !0u32 }
+    }
+
+    /// Feeds `data` into the running CRC.
+    pub fn update(&mut self, data: &[u8]) -> &mut Hasher {
+        let table = TABLE.get_or_init(make_table);
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xff) as usize];
+        }
+        self.state = crc;
+        self
+    }
+
+    /// The CRC32-C of everything fed so far (does not consume the hasher;
+    /// more `update` calls may follow).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
 }
 
 /// LevelDB-style masked CRC (so that CRCs stored alongside data do not
@@ -60,6 +97,24 @@ mod tests {
         let ascending: Vec<u8> = (0..32).collect();
         assert_eq!(crc32c(&ascending), 0x46DD_794E);
         assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn incremental_hasher_matches_one_shot() {
+        let data: Vec<u8> = (0..255u8).cycle().take(4096).collect();
+        for split in [0usize, 1, 7, 255, 2048, 4095, 4096] {
+            let mut h = Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), crc32c(&data), "split at {split}");
+        }
+        // finish() is non-destructive.
+        let mut h = Hasher::new();
+        h.update(b"abc");
+        let first = h.finish();
+        assert_eq!(h.finish(), first);
+        h.update(b"def");
+        assert_eq!(h.finish(), crc32c(b"abcdef"));
     }
 
     #[test]

@@ -7,6 +7,58 @@ use xlsm_simfs::FsError;
 /// Result alias for engine operations.
 pub type DbResult<T> = Result<T, DbError>;
 
+/// Structured payload of a [`DbError::Corruption`]: what failed validation,
+/// and — when known — in which file and at which byte offset, so scrub and
+/// verify reports are actionable instead of a bare message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptionDetail {
+    /// What failed (checksum mismatch, bad magic, undecodable record, ...).
+    pub message: String,
+    /// File the corruption was detected in, when known.
+    pub file: Option<String>,
+    /// Byte offset of the damaged region within `file`, when known.
+    pub offset: Option<u64>,
+}
+
+impl CorruptionDetail {
+    /// Detail with only a message (no file/offset attribution).
+    pub fn new(message: impl Into<String>) -> CorruptionDetail {
+        CorruptionDetail {
+            message: message.into(),
+            file: None,
+            offset: None,
+        }
+    }
+}
+
+impl From<String> for CorruptionDetail {
+    fn from(message: String) -> CorruptionDetail {
+        CorruptionDetail::new(message)
+    }
+}
+
+impl From<&str> for CorruptionDetail {
+    fn from(message: &str) -> CorruptionDetail {
+        CorruptionDetail::new(message)
+    }
+}
+
+impl fmt::Display for CorruptionDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(file) = &self.file {
+            write!(f, " (file {file}")?;
+            if let Some(off) = self.offset {
+                write!(f, ", offset {off}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for CorruptionDetail {}
+
 /// Errors surfaced by the key-value store.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DbError {
@@ -22,8 +74,10 @@ pub enum DbError {
         /// [`Error::source`]).
         source: FsError,
     },
-    /// On-disk data failed checksum or structural validation.
-    Corruption(String),
+    /// On-disk data failed checksum or structural validation. The payload
+    /// carries the file path and byte offset when known (also chained via
+    /// [`Error::source`]).
+    Corruption(CorruptionDetail),
     /// The database is in read-only mode after a hard background error:
     /// writes fail fast, reads keep serving. The payload describes the
     /// error that caused the transition.
@@ -35,6 +89,33 @@ pub enum DbError {
 }
 
 impl DbError {
+    /// A corruption error with only a message.
+    pub fn corruption(message: impl Into<String>) -> DbError {
+        DbError::Corruption(CorruptionDetail::new(message))
+    }
+
+    /// A corruption error attributed to `file`.
+    pub fn corruption_in(file: impl Into<String>, message: impl Into<String>) -> DbError {
+        DbError::Corruption(CorruptionDetail {
+            message: message.into(),
+            file: Some(file.into()),
+            offset: None,
+        })
+    }
+
+    /// A corruption error attributed to `file` at byte `offset`.
+    pub fn corruption_at(
+        file: impl Into<String>,
+        offset: u64,
+        message: impl Into<String>,
+    ) -> DbError {
+        DbError::Corruption(CorruptionDetail {
+            message: message.into(),
+            file: Some(file.into()),
+            offset: Some(offset),
+        })
+    }
+
     /// Whether a retry of the failed operation may succeed — true only for
     /// transient I/O faults.
     pub fn is_retryable(&self) -> bool {
@@ -64,7 +145,7 @@ impl fmt::Display for DbError {
                 let kind = if *retryable { "retryable" } else { "hard" };
                 write!(f, "{kind} i/o error: {source}")
             }
-            DbError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            DbError::Corruption(detail) => write!(f, "corruption: {detail}"),
             DbError::ReadOnly(msg) => write!(f, "database is read-only: {msg}"),
             DbError::ShuttingDown => write!(f, "database is shutting down"),
             DbError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -77,6 +158,7 @@ impl Error for DbError {
         match self {
             DbError::Fs(e) => Some(e),
             DbError::Io { source, .. } => Some(source),
+            DbError::Corruption(detail) => Some(detail),
             _ => None,
         }
     }
@@ -127,5 +209,35 @@ mod tests {
         assert!(!e.is_retryable());
         assert!(!DbError::Corruption("bad".into()).is_retryable());
         assert!(!DbError::from(FsError::DeviceFull).is_retryable());
+    }
+
+    #[test]
+    fn corruption_detail_carries_file_and_offset() {
+        let e = DbError::corruption_at("db/000007.sst", 4096, "block checksum mismatch");
+        assert!(e.is_corruption());
+        let msg = e.to_string();
+        assert!(msg.contains("db/000007.sst"), "missing file: {msg}");
+        assert!(msg.contains("4096"), "missing offset: {msg}");
+        // source() chains to the structured detail.
+        let src = e.source().expect("corruption must chain its detail");
+        let detail = src
+            .downcast_ref::<CorruptionDetail>()
+            .expect("source is CorruptionDetail");
+        assert_eq!(detail.file.as_deref(), Some("db/000007.sst"));
+        assert_eq!(detail.offset, Some(4096));
+    }
+
+    #[test]
+    fn plain_string_corruption_still_constructs() {
+        // Legacy construction sites use `Corruption("msg".into())`.
+        let e = DbError::Corruption("bad magic".into());
+        assert_eq!(e.to_string(), "corruption: bad magic");
+        match e {
+            DbError::Corruption(d) => {
+                assert_eq!(d.file, None);
+                assert_eq!(d.offset, None);
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
     }
 }

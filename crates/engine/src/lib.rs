@@ -56,6 +56,7 @@ pub mod crc32c;
 pub mod db;
 pub mod error;
 pub mod histogram;
+pub mod integrity;
 pub mod iterator;
 pub mod memtable;
 pub mod options;
@@ -72,7 +73,7 @@ pub use batch::WriteBatch;
 pub use bgerror::{BackgroundError, BackgroundOp, ErrorSeverity};
 pub use compress::CompressionType;
 pub use db::Db;
-pub use error::{DbError, DbResult};
+pub use error::{CorruptionDetail, DbError, DbResult};
 pub use histogram::{Histogram, HistogramSummary};
 pub use memtable::MemTable;
 pub use options::{DbOptions, WalRecoveryMode};

@@ -30,6 +30,8 @@
 //! exercises the CAS-retry path under real interleavings.
 
 use crate::bloom::ConcurrentBloom;
+use crate::error::{DbError, DbResult};
+use crate::integrity;
 use crate::types::{
     self, compare_internal, make_internal_key, make_lookup_key, SequenceNumber, ValueType,
 };
@@ -52,6 +54,9 @@ struct Node {
     /// Full internal key (`user_key ++ trailer`). Immutable once inserted.
     key: Vec<u8>,
     value: Vec<u8>,
+    /// Per-entry checksum over (type, user key, value) when the memtable
+    /// protects entries at rest; `0` when protection is off.
+    prot: u32,
     /// `next[level]` — atomic node indices, linked bottom-up via CAS.
     next: Box<[AtomicU32]>,
 }
@@ -125,6 +130,9 @@ pub struct MemTable {
     /// is linked so readers that can see an entry always see its bits
     /// (no false negatives, including on the concurrent insert path).
     bloom: Option<ConcurrentBloom>,
+    /// Whether each node stores (and `get`/flush re-verify) a per-entry
+    /// checksum — the memtable leg of the per-key protection chain.
+    protect: bool,
 }
 
 impl std::fmt::Debug for MemTable {
@@ -149,6 +157,20 @@ impl MemTable {
     /// atomic, so overshooting the estimate only raises its false-positive
     /// rate.
     pub fn with_bloom(id: u64, bits_per_key: usize, expected_entries: usize) -> Arc<MemTable> {
+        MemTable::with_options(id, bits_per_key, expected_entries, false)
+    }
+
+    /// [`MemTable::with_bloom`] plus an entry-protection switch: when
+    /// `protect` is on, every node stores a checksum over (type, user key,
+    /// value) computed at insert, and [`MemTable::get`] plus flush-side
+    /// [`MemTableIter::verify_entry`] re-verify it, so an entry corrupted
+    /// while buffered is detected instead of served or persisted.
+    pub fn with_options(
+        id: u64,
+        bits_per_key: usize,
+        expected_entries: usize,
+        protect: bool,
+    ) -> Arc<MemTable> {
         Arc::new(MemTable {
             id,
             arena: Arena::new(),
@@ -160,7 +182,13 @@ impl MemTable {
             first_seq: AtomicU64::new(u64::MAX),
             bloom: (bits_per_key > 0)
                 .then(|| ConcurrentBloom::new(bits_per_key, expected_entries.max(1))),
+            protect,
         })
+    }
+
+    /// Whether per-entry at-rest protection is on.
+    pub fn protected(&self) -> bool {
+        self.protect
     }
 
     /// Whether this memtable carries a whole-key bloom (callers charge the
@@ -234,7 +262,7 @@ impl MemTable {
     /// concurrent path's yield point; with `charge_ns == 0` there is no
     /// blocking point, so the insert is atomic under the cooperative
     /// runtime (the serial mode's exclusive path).
-    fn insert(&self, key: Vec<u8>, value: Vec<u8>, charge_ns: u64) {
+    fn insert(&self, key: Vec<u8>, value: Vec<u8>, prot: u32, charge_ns: u64) {
         let h = self.random_height();
         let mut splice = self.find_predecessors(&key);
         if charge_ns > 0 {
@@ -247,6 +275,7 @@ impl MemTable {
         let idx = self.arena.alloc(Node {
             key,
             value,
+            prot,
             next: (0..h)
                 .map(|_| AtomicU32::new(NIL))
                 .collect::<Vec<_>>()
@@ -292,7 +321,8 @@ impl MemTable {
         if let Some(b) = &self.bloom {
             b.insert(user_key);
         }
-        self.insert(ikey, value.to_vec(), 0);
+        let prot = self.checksum_for(t, user_key, value);
+        self.insert(ikey, value.to_vec(), prot, 0);
         self.record_entry(seq, charge);
     }
 
@@ -314,29 +344,65 @@ impl MemTable {
         if let Some(b) = &self.bloom {
             b.insert(user_key);
         }
-        self.insert(ikey, value.to_vec(), charge_ns);
+        let prot = self.checksum_for(t, user_key, value);
+        self.insert(ikey, value.to_vec(), prot, charge_ns);
         self.record_entry(seq, charge);
+    }
+
+    /// The checksum stored with a node (0 when protection is off).
+    fn checksum_for(&self, t: ValueType, user_key: &[u8], value: &[u8]) -> u32 {
+        if self.protect {
+            integrity::entry_checksum(t, user_key, value)
+        } else {
+            0
+        }
+    }
+
+    /// Re-verifies the node at `idx` against its stored checksum.
+    fn verify_node(&self, idx: u32) -> DbResult<()> {
+        if !self.protect {
+            return Ok(());
+        }
+        let node = self.arena.node(idx);
+        let (uk, seq, t) = types::parse_internal_key(&node.key);
+        if integrity::entry_checksum(t, uk, &node.value) != node.prot {
+            return Err(DbError::corruption(format!(
+                "memtable {} entry checksum mismatch (seq {seq})",
+                self.id
+            )));
+        }
+        Ok(())
     }
 
     /// Looks up `user_key` at `snapshot`. Returns:
     /// * `None` — key not present in this memtable;
     /// * `Some(None)` — newest visible version is a deletion;
     /// * `Some(Some(v))` — newest visible version is `v`.
-    pub fn get(&self, user_key: &[u8], snapshot: SequenceNumber) -> Option<Option<Vec<u8>>> {
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] when protection is on and the matching
+    /// node's stored checksum no longer matches its content.
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> DbResult<Option<Option<Vec<u8>>>> {
         let lookup = make_lookup_key(user_key, snapshot);
         let idx = self.seek_index(&lookup);
         if idx == NIL {
-            return None;
+            return Ok(None);
         }
         let node = self.arena.node(idx);
         let (uk, _seq, t) = types::parse_internal_key(&node.key);
         if uk != user_key {
-            return None;
+            return Ok(None);
         }
-        match t {
+        self.verify_node(idx)?;
+        Ok(match t {
             ValueType::Value => Some(Some(node.value.clone())),
             ValueType::Deletion => Some(None),
-        }
+        })
     }
 
     /// Approximate memory footprint in bytes.
@@ -423,6 +489,19 @@ impl MemTableIter {
     pub fn value(&self) -> Vec<u8> {
         self.mem.arena.node(self.cur).value.clone()
     }
+
+    /// Re-verifies the current entry against its stored per-entry checksum
+    /// (no-op when the memtable does not protect entries). Flush calls this
+    /// per entry so a corrupted buffered write is caught *before* it is
+    /// persisted into an SST with a fresh, valid block checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] on mismatch.
+    pub fn verify_entry(&self) -> DbResult<()> {
+        debug_assert!(self.valid(), "verify_entry on invalid iterator");
+        self.mem.verify_node(self.cur)
+    }
 }
 
 #[cfg(test)]
@@ -436,9 +515,9 @@ mod tests {
         let m = MemTable::new(1);
         m.add(1, ValueType::Value, b"alpha", b"1");
         m.add(2, ValueType::Value, b"beta", b"2");
-        assert_eq!(m.get(b"alpha", 10), Some(Some(b"1".to_vec())));
-        assert_eq!(m.get(b"beta", 10), Some(Some(b"2".to_vec())));
-        assert_eq!(m.get(b"gamma", 10), None);
+        assert_eq!(m.get(b"alpha", 10).unwrap(), Some(Some(b"1".to_vec())));
+        assert_eq!(m.get(b"beta", 10).unwrap(), Some(Some(b"2".to_vec())));
+        assert_eq!(m.get(b"gamma", 10).unwrap(), None);
         assert_eq!(m.num_entries(), 2);
         assert!(m.approximate_bytes() > 0);
     }
@@ -448,7 +527,7 @@ mod tests {
         let m = MemTable::new(1);
         m.add(1, ValueType::Value, b"k", b"old");
         m.add(5, ValueType::Value, b"k", b"new");
-        assert_eq!(m.get(b"k", 10), Some(Some(b"new".to_vec())));
+        assert_eq!(m.get(b"k", 10).unwrap(), Some(Some(b"new".to_vec())));
     }
 
     #[test]
@@ -456,10 +535,10 @@ mod tests {
         let m = MemTable::new(1);
         m.add(3, ValueType::Value, b"k", b"v3");
         m.add(7, ValueType::Value, b"k", b"v7");
-        assert_eq!(m.get(b"k", 2), None, "nothing visible below seq 3");
-        assert_eq!(m.get(b"k", 3), Some(Some(b"v3".to_vec())));
-        assert_eq!(m.get(b"k", 6), Some(Some(b"v3".to_vec())));
-        assert_eq!(m.get(b"k", 7), Some(Some(b"v7".to_vec())));
+        assert_eq!(m.get(b"k", 2).unwrap(), None, "nothing visible below seq 3");
+        assert_eq!(m.get(b"k", 3).unwrap(), Some(Some(b"v3".to_vec())));
+        assert_eq!(m.get(b"k", 6).unwrap(), Some(Some(b"v3".to_vec())));
+        assert_eq!(m.get(b"k", 7).unwrap(), Some(Some(b"v7".to_vec())));
     }
 
     #[test]
@@ -467,16 +546,16 @@ mod tests {
         let m = MemTable::new(1);
         m.add(1, ValueType::Value, b"k", b"v");
         m.add(2, ValueType::Deletion, b"k", b"");
-        assert_eq!(m.get(b"k", 10), Some(None));
-        assert_eq!(m.get(b"k", 1), Some(Some(b"v".to_vec())));
+        assert_eq!(m.get(b"k", 10).unwrap(), Some(None));
+        assert_eq!(m.get(b"k", 1).unwrap(), Some(Some(b"v".to_vec())));
     }
 
     #[test]
     fn prefix_keys_do_not_collide() {
         let m = MemTable::new(1);
         m.add(1, ValueType::Value, b"abc", b"1");
-        assert_eq!(m.get(b"ab", 10), None);
-        assert_eq!(m.get(b"abcd", 10), None);
+        assert_eq!(m.get(b"ab", 10).unwrap(), None);
+        assert_eq!(m.get(b"abcd", 10).unwrap(), None);
     }
 
     #[test]
@@ -558,11 +637,12 @@ mod tests {
         }
         assert_eq!(count, n);
         assert_eq!(
-            m.get(b"k00000000", u64::MAX >> 8),
+            m.get(b"k00000000", u64::MAX >> 8).unwrap(),
             Some(Some(b"v".to_vec()))
         );
         assert_eq!(
-            m.get(format!("k{:08}", n - 1).as_bytes(), u64::MAX >> 8),
+            m.get(format!("k{:08}", n - 1).as_bytes(), u64::MAX >> 8)
+                .unwrap(),
             Some(Some(b"v".to_vec()))
         );
     }
@@ -667,10 +747,69 @@ mod tests {
                         m.may_contain(key.as_bytes()),
                         "false negative for {key} after concurrent insert"
                     );
-                    assert!(m.get(key.as_bytes(), u64::MAX >> 8).is_some());
+                    assert!(m.get(key.as_bytes(), u64::MAX >> 8).unwrap().is_some());
                 }
             }
         });
+    }
+
+    #[test]
+    fn protected_get_roundtrip_and_detects_corruption() {
+        let m = MemTable::with_options(21, 0, 0, true);
+        assert!(m.protected());
+        m.add(1, ValueType::Value, b"good", b"v");
+        assert_eq!(m.get(b"good", 10).unwrap(), Some(Some(b"v".to_vec())));
+        // Plant an entry whose stored checksum does not match its content —
+        // the shape of an in-memory flip between insert and read.
+        let wrong = integrity::entry_checksum(ValueType::Value, b"bad", b"v") ^ 1;
+        m.insert(
+            make_internal_key(b"bad", 2, ValueType::Value),
+            b"v".to_vec(),
+            wrong,
+            0,
+        );
+        m.record_entry(2, 16);
+        let err = m.get(b"bad", 10).unwrap_err();
+        assert!(err.is_corruption());
+        assert!(err.to_string().contains("memtable 21"), "{err}");
+    }
+
+    #[test]
+    fn flush_iterator_verifies_entries() {
+        let m = MemTable::with_options(22, 0, 0, true);
+        m.add(1, ValueType::Value, b"a", b"1");
+        let wrong = integrity::entry_checksum(ValueType::Deletion, b"b", b"") ^ 1;
+        m.insert(
+            make_internal_key(b"b", 2, ValueType::Deletion),
+            Vec::new(),
+            wrong,
+            0,
+        );
+        m.record_entry(2, 16);
+        m.add(3, ValueType::Value, b"c", b"3");
+        let mut it = m.iter();
+        assert!(it.seek_to_first());
+        let mut bad = 0;
+        loop {
+            if it.verify_entry().is_err() {
+                bad += 1;
+            }
+            if !it.next() {
+                break;
+            }
+        }
+        assert_eq!(bad, 1, "exactly the planted entry must fail");
+    }
+
+    #[test]
+    fn unprotected_memtable_skips_verification() {
+        let m = MemTable::new(23);
+        assert!(!m.protected());
+        m.add(1, ValueType::Value, b"k", b"v");
+        let mut it = m.iter();
+        assert!(it.seek_to_first());
+        assert!(it.verify_entry().is_ok());
+        assert_eq!(m.get(b"k", 10).unwrap(), Some(Some(b"v".to_vec())));
     }
 
     proptest! {
@@ -699,7 +838,7 @@ mod tests {
                 }
             }
             for (key, expect) in &model {
-                prop_assert_eq!(m.get(key, u64::MAX >> 8), Some(expect.clone()));
+                prop_assert_eq!(m.get(key, u64::MAX >> 8).unwrap(), Some(expect.clone()));
             }
             prop_assert_eq!(m.num_entries(), ops.len() as u64);
         }

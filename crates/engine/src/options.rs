@@ -172,6 +172,24 @@ pub struct DbOptions {
     /// `paranoid_checks`. When false, a corrupt compaction input aborts
     /// that compaction but leaves the database writable.
     pub paranoid_checks: bool,
+    /// Per-key-value protection width in bytes (RocksDB
+    /// `protection_bytes_per_key`): 0 disables; otherwise each entry in a
+    /// [`crate::WriteBatch`] carries a checksum of this many bytes over
+    /// (type, key, value), verified at every handoff — group-commit merge,
+    /// WAL encode, WAL replay, memtable insert — and the memtable re-checks
+    /// entries at read and flush time. Valid widths: 0, 1, 2, 4, 8.
+    pub protection_bytes_per_key: usize,
+    /// Verify the whole-file checksum recorded in the MANIFEST when an SST
+    /// is opened through the table cache (RocksDB `paranoid_file_checks`
+    /// analogue). Off by default: it reads the entire file per first open,
+    /// which would distort the paper-reproduction latency figures.
+    pub paranoid_file_checks: bool,
+    /// Background scrub rate budget in bytes/second; `0` disables the
+    /// scrubber. When set, a dedicated low-rate worker continuously
+    /// re-reads live SSTs block-by-block, verifying whole-file and
+    /// per-block checksums, and routes any mismatch through the
+    /// background-error machinery (hard error → read-only).
+    pub scrub_rate_bytes_per_sec: u64,
     /// Bounded retries for a retryable (transient) background I/O error
     /// before it escalates to hard and the database goes read-only.
     pub max_background_error_retries: u32,
@@ -210,6 +228,9 @@ impl fmt::Debug for DbOptions {
             .field("memtable_bloom_bits", &self.memtable_bloom_bits)
             .field("compression", &self.compression)
             .field("table_cache_shards", &self.table_cache_shards)
+            .field("protection_bytes_per_key", &self.protection_bytes_per_key)
+            .field("paranoid_file_checks", &self.paranoid_file_checks)
+            .field("scrub_rate_bytes_per_sec", &self.scrub_rate_bytes_per_sec)
             .finish_non_exhaustive()
     }
 }
@@ -248,6 +269,9 @@ impl Default for DbOptions {
             wal_bytes_per_sync: 16 << 10, // 512 KB / 32 (scaled, like the rest of the geometry)
             delayed_write_rate: 16 << 20, // 16 MB/s
             paranoid_checks: true,
+            protection_bytes_per_key: 0,
+            paranoid_file_checks: false,
+            scrub_rate_bytes_per_sec: 0,
             max_background_error_retries: 6,
             background_error_retry_backoff_ns: 1_000_000, // 1 ms, doubling
             throttle_policy: Arc::new(OriginalThrottlePolicy),
@@ -309,6 +333,9 @@ impl DbOptions {
         }
         if self.prefix_extractor == Some(0) {
             return Err("prefix_extractor length must be >= 1".into());
+        }
+        if !crate::integrity::VALID_PROTECTION_WIDTHS.contains(&self.protection_bytes_per_key) {
+            return Err("protection_bytes_per_key must be 0, 1, 2, 4, or 8".into());
         }
         Ok(())
     }
@@ -409,5 +436,25 @@ mod tests {
             ..DbOptions::default()
         };
         ok.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_enforces_protection_widths() {
+        for bad in [3usize, 5, 6, 7, 9, 16] {
+            let o = DbOptions {
+                protection_bytes_per_key: bad,
+                ..DbOptions::default()
+            };
+            assert!(o.validate().is_err(), "width {bad} must be rejected");
+        }
+        for good in [0usize, 1, 2, 4, 8] {
+            let o = DbOptions {
+                protection_bytes_per_key: good,
+                paranoid_file_checks: true,
+                scrub_rate_bytes_per_sec: 1 << 20,
+                ..DbOptions::default()
+            };
+            o.validate().unwrap();
+        }
     }
 }

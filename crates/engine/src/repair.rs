@@ -236,6 +236,13 @@ fn read_table_meta(
     stats: &Arc<DbStats>,
 ) -> DbResult<(FileMetaData, u64)> {
     let file = fs.open(path)?;
+    // The old manifest — and with it the recorded whole-file CRC — is the
+    // thing being repaired, so there is nothing to compare against; the
+    // recomputed CRC re-seeds the rebuilt manifest's checksum record
+    // instead. Damage detection comes from the block CRCs: open verifies
+    // filter/index/props/footer, the full scan below every data block, so
+    // a flip anywhere fails like a torn footer and archives the table.
+    let file_crc = crate::integrity::file_crc32c(&file, &mut |_| {})?;
     let reader = Arc::new(TableReader::open(file, number, Arc::clone(cache))?);
     let props = reader.properties().clone();
     // The footer's smallest/largest bound the key range but not the
@@ -256,6 +263,7 @@ fn read_table_meta(
             smallest: props.smallest,
             largest: props.largest,
             num_entries: props.num_entries,
+            file_crc: Some(file_crc),
         },
         max_seq,
     ))
@@ -287,6 +295,7 @@ fn dump_memtable(
         smallest: props.smallest,
         largest: props.largest,
         num_entries: props.num_entries,
+        file_crc: Some(props.file_crc),
     })
 }
 
@@ -389,6 +398,49 @@ mod tests {
 
             let db2 = Db::open(Arc::clone(&fs), opts).unwrap();
             assert_eq!(db2.get(b"k0000").unwrap(), Some(b"value".to_vec()));
+            db2.close();
+        });
+    }
+
+    #[test]
+    fn repair_archives_table_with_mid_file_flip() {
+        Runtime::new().run(|| {
+            let fs = fs();
+            let opts = small_opts();
+            let db = Db::open(Arc::clone(&fs), opts.clone()).unwrap();
+            for i in 0..200u32 {
+                db.put(format!("k{i:04}").as_bytes(), &[b'v'; 100]).unwrap();
+            }
+            db.flush().unwrap();
+            db.close();
+
+            // Plant one flipped bit in the middle of the first table — deep
+            // inside a data block, far from the footer. (SimFs has no
+            // write-at-offset, so at-rest damage = rewrite the file.)
+            let victim = numbered_files(&fs, "db", ".sst")[0].1.clone();
+            let handle = fs.open(&victim).unwrap();
+            let len = handle.len();
+            let mut bytes = handle.read_at(0, len as usize).unwrap();
+            bytes[len as usize / 2] ^= 0x40;
+            fs.delete(&victim).unwrap();
+            fs.create(&victim).unwrap().append(&bytes).unwrap();
+            fs.delete("db/MANIFEST").unwrap();
+
+            let report = repair_db(Arc::clone(&fs), &opts).unwrap();
+            assert_eq!(
+                report.ssts_discarded, 1,
+                "a mid-file flip must be treated like a torn footer"
+            );
+            assert!(!fs.exists(&victim), "archived out of the db dir");
+            let name = victim.rsplit('/').next().unwrap();
+            assert!(fs.exists(&format!("db/lost/{name}")));
+
+            // The rebuilt database opens; the damaged table's keys are gone
+            // (archived, not silently wrong).
+            let db2 = Db::open(Arc::clone(&fs), opts).unwrap();
+            for i in 0..200u32 {
+                let _ = db2.get(format!("k{i:04}").as_bytes()).unwrap();
+            }
             db2.close();
         });
     }

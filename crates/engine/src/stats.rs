@@ -78,6 +78,10 @@ pub enum Ticker {
     /// Memtable searches skipped because the memtable's whole-key bloom
     /// rejected the key.
     MemtableBloomUseful,
+    /// Bytes re-read and CRC-verified by the background scrubber.
+    ScrubBytesVerified,
+    /// Checksum mismatches the background scrubber found in live files.
+    ScrubCorruptionsFound,
     TickerCount, // sentinel
 }
 
@@ -109,6 +113,10 @@ pub struct DbStats {
     pub write_group_batches: Histogram,
     /// Bytes per committed write group.
     pub write_group_bytes: Histogram,
+    /// Duration of each completed scrub pass over the live file set. Not
+    /// reset with the warm-up window: passes are long-lived and a reset
+    /// mid-pass would discard the only samples.
+    pub scrub_pass: Histogram,
     /// Cross-layer write-stall accounting (per-op breakdowns + the
     /// controller-transition event log).
     pub stall: Arc<StallAccounting>,
@@ -141,6 +149,7 @@ impl DbStats {
             multi_get_latency: Histogram::new(),
             write_group_batches: Histogram::new(),
             write_group_bytes: Histogram::new(),
+            scrub_pass: Histogram::new(),
             stall: Arc::new(StallAccounting::default()),
             waiting_writers: AtomicU64::new(0),
             waiting_sum: AtomicU64::new(0),
@@ -257,6 +266,9 @@ pub struct Metrics {
     pub write_group_batches: HistogramSummary,
     /// Bytes per committed write group.
     pub write_group_bytes: HistogramSummary,
+    /// Completed background scrub passes (duration per full sweep of the
+    /// live file set).
+    pub scrub_pass: HistogramSummary,
     /// Average queued writer threads (Fig. 16 metric).
     pub avg_waiting_writers: f64,
     /// Aggregate per-op stall breakdown totals.

@@ -29,6 +29,9 @@ pub struct FileMetaData {
     pub largest: Vec<u8>,
     /// Entry count.
     pub num_entries: u64,
+    /// CRC32-C over the whole file as written, recorded in the manifest.
+    /// `None` for files installed before whole-file checksums existed.
+    pub file_crc: Option<u32>,
 }
 
 impl FileMetaData {
@@ -187,6 +190,10 @@ pub struct VersionEdit {
     pub added: Vec<(usize, FileMetaData)>,
     /// Files removed: `(level, file number)`.
     pub deleted: Vec<(usize, u64)>,
+    /// Whole-file CRCs of WAL segments sealed by this edit:
+    /// `(log number, crc)`. Recovery verifies a sealed log against its
+    /// recorded CRC before trusting per-record scans.
+    pub wal_crcs: Vec<(u64, u32)>,
 }
 
 const TAG_LOG_NUMBER: u64 = 1;
@@ -194,6 +201,12 @@ const TAG_NEXT_FILE: u64 = 2;
 const TAG_LAST_SEQ: u64 = 3;
 const TAG_ADD: u64 = 4;
 const TAG_DELETE: u64 = 5;
+/// `(file number, crc)` — whole-file CRC of an added SST. A separate tag
+/// (rather than a new ADD field) keeps old manifests decodable: files
+/// recorded before this tag existed simply have no CRC.
+const TAG_FILE_CRC: u64 = 6;
+/// `(log number, crc)` — whole-file CRC of a sealed WAL segment.
+const TAG_WAL_CRC: u64 = 7;
 
 impl VersionEdit {
     /// Serializes to the manifest payload format.
@@ -219,11 +232,21 @@ impl VersionEdit {
             put_varint64(&mut out, f.num_entries);
             put_length_prefixed(&mut out, &f.smallest);
             put_length_prefixed(&mut out, &f.largest);
+            if let Some(crc) = f.file_crc {
+                put_varint64(&mut out, TAG_FILE_CRC);
+                put_varint64(&mut out, f.number);
+                put_varint64(&mut out, u64::from(crc));
+            }
         }
         for (level, number) in &self.deleted {
             put_varint64(&mut out, TAG_DELETE);
             put_varint64(&mut out, *level as u64);
             put_varint64(&mut out, *number);
+        }
+        for (number, crc) in &self.wal_crcs {
+            put_varint64(&mut out, TAG_WAL_CRC);
+            put_varint64(&mut out, *number);
+            put_varint64(&mut out, u64::from(*crc));
         }
         out
     }
@@ -268,6 +291,7 @@ impl VersionEdit {
                             smallest,
                             largest,
                             num_entries,
+                            file_crc: None,
                         },
                     ));
                 }
@@ -275,6 +299,22 @@ impl VersionEdit {
                     let level = get_varint64(data, &mut off).ok_or_else(corrupt)? as usize;
                     let number = get_varint64(data, &mut off).ok_or_else(corrupt)?;
                     edit.deleted.push((level, number));
+                }
+                TAG_FILE_CRC => {
+                    let number = get_varint64(data, &mut off).ok_or_else(corrupt)?;
+                    let crc = get_varint64(data, &mut off).ok_or_else(corrupt)?;
+                    let crc = u32::try_from(crc).map_err(|_| corrupt())?;
+                    for (_, f) in &mut edit.added {
+                        if f.number == number {
+                            f.file_crc = Some(crc);
+                        }
+                    }
+                }
+                TAG_WAL_CRC => {
+                    let number = get_varint64(data, &mut off).ok_or_else(corrupt)?;
+                    let crc = get_varint64(data, &mut off).ok_or_else(corrupt)?;
+                    edit.wal_crcs
+                        .push((number, u32::try_from(crc).map_err(|_| corrupt())?));
                 }
                 _ => return Err(corrupt()),
             }
@@ -326,6 +366,9 @@ pub struct VersionSet {
     next_sequence: AtomicU64,
     log_number: AtomicU64,
     num_levels: usize,
+    /// Whole-file CRCs of sealed WAL segments still at or above the WAL
+    /// low-watermark, keyed by log number. Pruned as `log_number` advances.
+    wal_crcs: parking_lot::Mutex<std::collections::BTreeMap<u64, u32>>,
 }
 
 impl fmt::Debug for VersionSet {
@@ -379,6 +422,7 @@ impl VersionSet {
             next_sequence: AtomicU64::new(0),
             log_number: AtomicU64::new(0),
             num_levels: opts.num_levels,
+            wal_crcs: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
         };
         Ok(vs)
     }
@@ -400,6 +444,7 @@ impl VersionSet {
         let mut next_file = 1u64;
         let mut last_seq = 0u64;
         let mut log_number = 0u64;
+        let mut wal_crcs = std::collections::BTreeMap::new();
         for rec in records {
             let edit = VersionEdit::decode(&rec)?;
             if let Some(v) = edit.next_file_number {
@@ -411,8 +456,10 @@ impl VersionSet {
             if let Some(v) = edit.log_number {
                 log_number = log_number.max(v);
             }
+            wal_crcs.extend(edit.wal_crcs.iter().copied());
             version = apply_edit(&version, &edit);
         }
+        wal_crcs.retain(|n, _| *n >= log_number);
         let manifest = fs.open(&mpath)?;
         Ok(VersionSet {
             fs,
@@ -425,6 +472,7 @@ impl VersionSet {
             next_sequence: AtomicU64::new(last_seq),
             log_number: AtomicU64::new(log_number),
             num_levels: opts.num_levels,
+            wal_crcs: parking_lot::Mutex::new(wal_crcs),
         })
     }
 
@@ -479,6 +527,17 @@ impl VersionSet {
         self.log_number.load(Ordering::Relaxed)
     }
 
+    /// Recorded whole-file CRC for sealed WAL `number`, if any. The active
+    /// (still-appending) WAL never has one.
+    pub fn wal_crc(&self, number: u64) -> Option<u32> {
+        self.wal_crcs.lock().get(&number).copied()
+    }
+
+    /// All recorded `(log number, crc)` pairs, ascending.
+    pub fn recorded_wal_crcs(&self) -> Vec<(u64, u32)> {
+        self.wal_crcs.lock().iter().map(|(n, c)| (*n, *c)).collect()
+    }
+
     /// Database path.
     pub fn db_path(&self) -> &str {
         &self.db_path
@@ -517,6 +576,12 @@ impl VersionSet {
             *cur = Arc::clone(&next);
             next
         };
+        {
+            let mut crcs = self.wal_crcs.lock();
+            crcs.extend(edit.wal_crcs.iter().copied());
+            let floor = self.log_number.load(Ordering::Relaxed);
+            crcs.retain(|n, _| *n >= floor);
+        }
         self.live.lock().push(Arc::downgrade(&new_version));
         Ok(new_version)
     }
@@ -571,6 +636,7 @@ mod tests {
             smallest: make_internal_key(lo, 1, ValueType::Value),
             largest: make_internal_key(hi, 1, ValueType::Value),
             num_entries: 10,
+            file_crc: Some(0xdead_beef ^ number as u32),
         }
     }
 
@@ -582,9 +648,25 @@ mod tests {
             last_sequence: Some(12345),
             added: vec![(0, meta(7, b"a", b"m")), (2, meta(8, b"n", b"z"))],
             deleted: vec![(1, 3)],
+            wal_crcs: vec![(4, 0x1234_5678), (6, 42)],
         };
         let decoded = VersionEdit::decode(&edit.encode()).unwrap();
         assert_eq!(decoded, edit);
+    }
+
+    #[test]
+    fn edit_without_crcs_roundtrips_as_none() {
+        // Old-manifest compatibility: an ADD with no TAG_FILE_CRC decodes
+        // with `file_crc: None`.
+        let mut m = meta(7, b"a", b"m");
+        m.file_crc = None;
+        let edit = VersionEdit {
+            added: vec![(0, m)],
+            ..VersionEdit::default()
+        };
+        let decoded = VersionEdit::decode(&edit.encode()).unwrap();
+        assert_eq!(decoded, edit);
+        assert_eq!(decoded.added[0].1.file_crc, None);
     }
 
     #[test]
@@ -658,6 +740,9 @@ mod tests {
             let mut e = VersionEdit::default();
             e.added.push((0, meta(n1, b"a", b"k")));
             e.log_number = Some(9);
+            // One sealed-WAL CRC below the new low-watermark (pruned) and
+            // one above it (kept).
+            e.wal_crcs = vec![(5, 111), (9, 222)];
             vs.log_and_apply(e).unwrap();
             vs.allocate_sequences(500);
             let mut e2 = VersionEdit::default();
@@ -672,6 +757,12 @@ mod tests {
             assert!(vs2.next_file.load(Ordering::Relaxed) >= 3);
             // Sequence survives through the second edit's stamp.
             assert_eq!(vs2.last_sequence(), 500);
+            // File CRCs survive the manifest roundtrip on the metadata.
+            assert_eq!(v.levels[0][0].file_crc, meta(n1, b"a", b"k").file_crc);
+            // WAL CRCs below the low-watermark are pruned on recovery.
+            assert_eq!(vs2.wal_crc(9), Some(222));
+            assert_eq!(vs2.wal_crc(5), None);
+            assert_eq!(vs2.recorded_wal_crcs(), vec![(9, 222)]);
         });
     }
 

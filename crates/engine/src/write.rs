@@ -24,6 +24,7 @@
 //! every member finished, so readers never observe a half-applied group.
 
 use crate::batch::WriteBatch;
+use crate::costs;
 use crate::error::{DbError, DbResult};
 use crate::stall::{PreprocessStalls, WriteBreakdown};
 use crate::stats::{DbStats, Ticker};
@@ -353,6 +354,17 @@ impl WriteQueue {
                 next += u64::from(b.count());
             }
         }
+        // Per-KV protection: the leader re-verifies the merged group before
+        // its bytes reach the WAL, so corruption introduced in the merge
+        // window is caught here instead of persisted under a fresh record
+        // CRC. The sidecar was carried (not recomputed) through the merge.
+        if group.protection_width() > 0 {
+            xlsm_sim::sleep_nanos(costs::KV_PROTECTION_NS * u64::from(group.count()));
+            if let Err(e) = group.verify_protection("wal encode") {
+                self.pop_group(members, stats);
+                return Err(e);
+            }
+        }
         let t_wal = xlsm_sim::now_nanos();
         if let Err(e) = backend.write_wal(&group) {
             self.pop_group(members, stats);
@@ -556,7 +568,7 @@ mod tests {
             let stats = DbStats::new();
             q.submit(batch_with(b"k", b"v"), be.as_ref(), &stats)
                 .unwrap();
-            assert_eq!(be.mem.get(b"k", 100), Some(Some(b"v".to_vec())));
+            assert_eq!(be.mem.get(b"k", 100).unwrap(), Some(Some(b"v".to_vec())));
             assert_eq!(stats.ticker(Ticker::WriteGroupsLed), 1);
         });
     }
@@ -586,7 +598,7 @@ mod tests {
             for i in 0..10u32 {
                 let key = format!("key{i}");
                 assert_eq!(
-                    be.mem.get(key.as_bytes(), 1000),
+                    be.mem.get(key.as_bytes(), 1000).unwrap(),
                     Some(Some(b"v".to_vec())),
                     "missing {key}"
                 );
@@ -630,7 +642,7 @@ mod tests {
             }
             // 20 committed ops => last_sequence 20 and a well-defined winner.
             assert_eq!(be.seq.load(Ordering::Relaxed), 20);
-            assert!(be.mem.get(b"shared", 1000).unwrap().is_some());
+            assert!(be.mem.get(b"shared", 1000).unwrap().unwrap().is_some());
             assert_eq!(be.mem.num_entries(), 20);
         });
     }
@@ -705,7 +717,7 @@ mod tests {
                 }
                 for i in 0..9u32 {
                     assert_eq!(
-                        be.mem.get(format!("k{i}").as_bytes(), 1000),
+                        be.mem.get(format!("k{i}").as_bytes(), 1000).unwrap(),
                         Some(Some(b"v".to_vec())),
                         "missing k{i}"
                     );
@@ -792,7 +804,7 @@ mod tests {
                 .unwrap();
             assert_eq!(stats.ticker(Ticker::ConcurrentMemtableApplies), 0);
             assert_eq!(be.member_applies.load(Ordering::Relaxed), 0);
-            assert_eq!(be.mem.get(b"k", 100), Some(Some(b"v".to_vec())));
+            assert_eq!(be.mem.get(b"k", 100).unwrap(), Some(Some(b"v".to_vec())));
             // Serial fallback still publishes through allocate_seq.
             assert_eq!(be.published.load(Ordering::Relaxed), 1);
         });
@@ -912,6 +924,40 @@ mod tests {
                 "the failed group must not publish its reserved sequences"
             );
             assert_eq!(q.queued(), 0);
+        });
+    }
+
+    /// Protected batches survive grouping: the merged group carries every
+    /// member's protection sidecar and the leader's pre-WAL verify passes.
+    #[test]
+    fn protected_batches_group_and_commit() {
+        Runtime::new().run(|| {
+            let q = Arc::new(WriteQueue::new(false, 1 << 20));
+            let be = TestBackend::new(50_000, 0);
+            let stats = Arc::new(DbStats::new());
+            let mut handles = Vec::new();
+            for i in 0..6u32 {
+                let q = Arc::clone(&q);
+                let be = Arc::clone(&be);
+                let stats = Arc::clone(&stats);
+                handles.push(xlsm_sim::spawn(&format!("w{i}"), move || {
+                    let mut b = WriteBatch::with_protection(8);
+                    b.put(format!("k{i}").as_bytes(), b"v");
+                    q.submit(b, be.as_ref(), &stats).unwrap();
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            for i in 0..6u32 {
+                assert_eq!(
+                    be.mem.get(format!("k{i}").as_bytes(), 1000).unwrap(),
+                    Some(Some(b"v".to_vec())),
+                    "missing k{i}"
+                );
+            }
+            let groups = be.wal_records.load(Ordering::Relaxed);
+            assert!(groups < 6, "protected batches must still group: {groups}");
         });
     }
 
