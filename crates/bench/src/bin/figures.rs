@@ -20,7 +20,7 @@ fn main() {
             "usage: figures [--quick] <all | fig01 | fig03 | fig04 | fig05 | fig06 | fig07 | \
              fig08 | fig09 | fig10 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | \
              fig19 | fig20 | stalls | ext_skew | parallelism | writepath | readpath | \
-             integrity> ..."
+             stability | integrity> ..."
         );
         std::process::exit(2);
     }
@@ -103,6 +103,9 @@ fn main() {
     }
     if want("readpath") {
         emit(figures::fig_readpath(&cfg));
+    }
+    if want("stability") {
+        emit(figures::fig_stability(&cfg));
     }
     if want("integrity") {
         emit(figures::fig_integrity(&cfg));

@@ -1,0 +1,40 @@
+//! Stability probe: throughput variance, stall-episode duration CDFs, and
+//! write tail latency (p99.9) for every stability policy — greedy /
+//! round-robin / fair compaction scheduling, two-stage throttling, dynamic
+//! Level-0 — on all three study devices, emitted as deterministic JSON.
+//!
+//! ```text
+//! cargo run -p xlsm-bench --release --bin stability -- [out.json]
+//! XLSM_QUICK=1 cargo run -p xlsm-bench --release --bin stability
+//! ```
+//!
+//! The output carries no timestamps or wall-clock data: two runs with the
+//! same seed must produce byte-identical files (`scripts/check.sh` enforces
+//! this).
+
+use xlsm_bench::common::BenchConfig;
+use xlsm_bench::stability;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_stability.json".to_string());
+    let cfg = BenchConfig::from_env();
+    eprintln!(
+        "[stability] config: {} keys x {} B, seed {:#x}",
+        cfg.key_count, cfg.value_size, cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let report = stability::run(&cfg);
+    for (_, table) in report.tables() {
+        println!("{table}");
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("[stability] failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[stability] wrote {out} in {:.1}s wall",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -644,6 +644,16 @@ pub fn fig_writepath(cfg: &BenchConfig) -> Vec<Figure> {
     crate::writepath::run(cfg).tables()
 }
 
+/// Extension experiment: performance *stability* under periodic write
+/// bursts for the whole stability-policy family — greedy vs round-robin vs
+/// fair compaction scheduling (the latter with the shared background-I/O
+/// budget) vs the paper's two case-study mechanisms — on all three
+/// devices: throughput variance, stall-episode duration CDFs, and write
+/// p99.9. Details and the JSON probe live in [`crate::stability`].
+pub fn fig_stability(cfg: &BenchConfig) -> Vec<Figure> {
+    crate::stability::run(cfg).tables()
+}
+
 /// Extension experiment: the read-path accelerators — bloom filters
 /// against Finding #2's Level-0 miss penalty, block compression against
 /// the device transfer, table-cache sharding against MultiGet fan-out

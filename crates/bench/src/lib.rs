@@ -20,6 +20,7 @@
 //! | [`fig_parallelism`] | extension (§VI) | subcompaction drain throughput + batched MultiGet |
 //! | [`fig_writepath`] | Figs. 15–16 (fix) | serial vs concurrent memtable apply vs writer count |
 //! | [`fig_readpath`] | Finding #2 (fix) | blooms, block compression, sharded table cache |
+//! | [`fig_stability`] | Figs. 5/18 (policy family) | throughput variance + stall-episode CDFs per scheduling policy |
 
 #![warn(missing_docs)]
 
@@ -27,6 +28,7 @@ pub mod common;
 pub mod figures;
 pub mod parallelism;
 pub mod readpath;
+pub mod stability;
 pub mod writepath;
 
 pub use common::BenchConfig;

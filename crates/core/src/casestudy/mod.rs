@@ -1,5 +1,8 @@
-//! The three case studies of Section V.
+//! The three case studies of Section V, plus the [`policy`] module that
+//! folds them into one sweepable stability-policy family alongside the
+//! scheduler-side interventions.
 
 pub mod dynamic_l0;
 pub mod nvm_wal;
+pub mod policy;
 pub mod two_stage;

@@ -66,8 +66,7 @@ mod tests {
         StallSignals {
             l0_files: l0,
             memtables: 1,
-            pending_compaction_bytes: 0,
-            compacted_bytes: 0,
+            ..StallSignals::default()
         }
     }
 
@@ -96,8 +95,7 @@ mod tests {
         let s = StallSignals {
             l0_files: 0,
             memtables: 2,
-            pending_compaction_bytes: 0,
-            compacted_bytes: 0,
+            ..StallSignals::default()
         };
         assert_eq!(p.evaluate(&s, &opts), StallLevel::Stop);
     }

@@ -1,10 +1,16 @@
 //! Leveled compaction: picking and execution.
 //!
+//! *Which level* gets serviced is delegated to a pluggable
+//! [`CompactionScheduler`] consulted with the per-level scores; *what* is
+//! compacted within the chosen level is fixed policy:
+//!
 //! * **L0 → L1**: all Level-0 files (their ranges overlap) merge with the
 //!   overlapping L1 files.
 //! * **Ln → Ln+1** (n ≥ 1): a cursor walks the level round-robin; the picked
 //!   file merges with its overlapping Ln+1 files. A file with no overlap is
-//!   *trivially moved* (metadata-only).
+//!   *trivially moved* (metadata-only). The cursor only advances when the
+//!   pick actually succeeds — a fallback (conflict with the in-progress
+//!   set) leaves it in place so no file is skipped within a lap.
 //!
 //! Obsolete versions of a user key are dropped when invisible to every
 //! active snapshot; deletion tombstones are additionally dropped when the
@@ -15,6 +21,7 @@ use crate::db::TableCache;
 use crate::error::DbResult;
 use crate::iterator::{InternalIterator, LevelIterator, MergingIterator};
 use crate::options::DbOptions;
+use crate::scheduler::CompactionScheduler;
 use crate::sst::{sst_file_name, TableBuilder};
 use crate::stats::{DbStats, Ticker};
 use crate::types::{self, SequenceNumber, ValueType};
@@ -94,18 +101,40 @@ impl CompactionCursors {
     }
 }
 
-/// Picks the neediest compaction, or `None` when nothing scores ≥ 1 or all
-/// candidate files are busy.
+/// Picks the next compaction as directed by `scheduler`, or `None` when no
+/// level is eligible or every eligible level's candidate files are busy.
+///
+/// The scheduler is consulted with the per-level scores; if the level it
+/// chooses cannot form a compaction right now (conflict with `in_progress`),
+/// that level's score is masked to 0 and the scheduler is asked again, so
+/// one blocked level never idles the background workers while another has
+/// serviceable debt.
 pub fn pick_compaction(
     version: &Version,
     opts: &DbOptions,
     in_progress: &HashSet<u64>,
     cursors: &mut CompactionCursors,
+    scheduler: &dyn CompactionScheduler,
 ) -> Option<CompactionTask> {
-    let (level, score) = version.compaction_score(opts);
-    if score < 1.0 {
-        return None;
+    let mut scores = version.level_scores(opts);
+    loop {
+        let level = scheduler.pick_level(&scores)?;
+        if let Some(task) = pick_at_level(version, level, in_progress, cursors) {
+            return Some(task);
+        }
+        scores[level] = 0.0;
     }
+}
+
+/// Forms a compaction at `level`, or `None` when its candidates are busy.
+/// The level cursor is committed only on success, so a fallback does not
+/// skip the blocked file's position.
+fn pick_at_level(
+    version: &Version,
+    level: usize,
+    in_progress: &HashSet<u64>,
+    cursors: &mut CompactionCursors,
+) -> Option<CompactionTask> {
     let output_level = level + 1;
     let inputs: Vec<Arc<FileMetaData>> = if level == 0 {
         let all = version.levels[0].clone();
@@ -130,10 +159,7 @@ pub fn pick_compaction(
             .find(|f| !in_progress.contains(&f.number))
             .cloned();
         match pick {
-            Some(f) => {
-                cursors.cursors[level] = Some(types::user_key(&f.largest).to_vec());
-                vec![f]
-            }
+            Some(f) => vec![f],
             None => return None,
         }
     };
@@ -144,6 +170,9 @@ pub fn pick_compaction(
     let inputs_next = version.overlapping(output_level, &lo, &hi);
     if inputs_next.iter().any(|f| in_progress.contains(&f.number)) {
         return None;
+    }
+    if level > 0 {
+        cursors.cursors[level] = Some(types::user_key(&inputs[0].largest).to_vec());
     }
     // Bottommost check: no file in any deeper level overlaps the range.
     let can_drop_tombstones = (output_level + 1..version.levels.len())
@@ -525,7 +554,17 @@ fn merge_into_edit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::GreedyScheduler;
     use crate::types::make_internal_key;
+
+    fn pick(
+        v: &Version,
+        opts: &DbOptions,
+        busy: &HashSet<u64>,
+        cursors: &mut CompactionCursors,
+    ) -> Option<CompactionTask> {
+        pick_compaction(v, opts, busy, cursors, &GreedyScheduler)
+    }
 
     fn meta(number: u64, lo: &[u8], hi: &[u8], size: u64) -> FileMetaData {
         FileMetaData {
@@ -554,7 +593,7 @@ mod tests {
         let opts = DbOptions::default();
         let v = version_with(vec![meta(1, b"a", b"z", 100)], vec![]);
         let mut cursors = CompactionCursors::new(7);
-        assert!(pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).is_none());
+        assert!(pick(&v, &opts, &HashSet::new(), &mut cursors).is_none());
     }
 
     #[test]
@@ -569,7 +608,7 @@ mod tests {
             ],
         );
         let mut cursors = CompactionCursors::new(7);
-        let t = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        let t = pick(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
         assert_eq!(t.level, 0);
         assert_eq!(t.inputs.len(), 4);
         // Overlapping L1: [a,d] and [k,p], not [x,z].
@@ -585,7 +624,7 @@ mod tests {
         let mut cursors = CompactionCursors::new(7);
         let mut busy = HashSet::new();
         busy.insert(2u64);
-        assert!(pick_compaction(&v, &opts, &busy, &mut cursors).is_none());
+        assert!(pick(&v, &opts, &busy, &mut cursors).is_none());
     }
 
     #[test]
@@ -596,7 +635,7 @@ mod tests {
         };
         let v = version_with(vec![], vec![meta(5, b"a", b"c", 100)]);
         let mut cursors = CompactionCursors::new(7);
-        let t = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        let t = pick(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
         assert_eq!(t.level, 1);
         assert!(t.is_trivial_move);
         assert_eq!(t.input_numbers(), vec![5]);
@@ -613,11 +652,47 @@ mod tests {
             vec![meta(5, b"a", b"c", 100), meta(6, b"m", b"p", 100)],
         );
         let mut cursors = CompactionCursors::new(7);
-        let t1 = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        let t1 = pick(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
         assert_eq!(t1.inputs[0].number, 5);
-        let t2 = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        let t2 = pick(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
         assert_eq!(t2.inputs[0].number, 6, "cursor should advance");
-        let t3 = pick_compaction(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
+        let t3 = pick(&v, &opts, &HashSet::new(), &mut cursors).unwrap();
         assert_eq!(t3.inputs[0].number, 5, "cursor should wrap");
+    }
+
+    #[test]
+    fn busy_fallback_does_not_skip_cursor_position() {
+        // L1 files A(a..c), B(m..p), C(x..z); an in-progress L2 file
+        // overlaps B. The pick that lands on B must fall back WITHOUT
+        // advancing the cursor past it, so once the conflict clears the lap
+        // visits every file exactly once: A, B, C, A, ...
+        let opts = DbOptions {
+            max_bytes_for_level_base: 50,
+            ..DbOptions::default()
+        };
+        let mut e = VersionEdit::default();
+        for f in [
+            meta(5, b"a", b"c", 100),
+            meta(6, b"m", b"p", 100),
+            meta(7, b"x", b"z", 100),
+        ] {
+            e.added.push((1, f));
+        }
+        e.added.push((2, meta(20, b"n", b"o", 100)));
+        let v = crate::version::apply_edit(&Version::empty(7), &e);
+        let mut cursors = CompactionCursors::new(7);
+        let mut busy = HashSet::new();
+        busy.insert(20u64);
+
+        let t1 = pick(&v, &opts, &busy, &mut cursors).unwrap();
+        assert_eq!(t1.inputs[0].number, 5);
+        // Next pick lands on B, whose L2 overlap is busy: no task, and the
+        // cursor must still point just past A.
+        assert!(pick(&v, &opts, &busy, &mut cursors).is_none());
+        busy.clear();
+        let order: Vec<u64> = (0..4)
+            .map(|_| pick(&v, &opts, &busy, &mut cursors).unwrap().inputs[0].number)
+            .collect();
+        assert_eq!(order, vec![6, 7, 5, 6], "B must not be skipped");
     }
 }

@@ -46,6 +46,12 @@ pub struct StallSignals {
     /// Cumulative bytes processed by flush + compaction (the source of
     /// Algorithm 1's per-interval `Prev_Bytes`).
     pub compacted_bytes: u64,
+    /// Background-I/O budget currently in effect (bytes per virtual second,
+    /// 0 = unthrottled — see [`crate::scheduler::BgIoLimiter`]). The stock
+    /// policies ignore it; a custom [`ThrottlePolicy`] can use it to
+    /// coordinate foreground pacing with the background budget instead of
+    /// reacting to L0 shape alone.
+    pub bg_io_budget_bytes_per_sec: u64,
 }
 
 /// The stall level a policy selects.
@@ -397,7 +403,7 @@ mod tests {
             l0_files: l0,
             memtables: mems,
             pending_compaction_bytes: pending,
-            compacted_bytes: 0,
+            ..StallSignals::default()
         }
     }
 
@@ -425,6 +431,7 @@ mod tests {
                 memtables: 1,
                 pending_compaction_bytes: pending,
                 compacted_bytes: compacted,
+                ..StallSignals::default()
             };
             c.update(&sig_p(100 << 20, 0), &opts); // enter Delay at init rate
             let r0 = c.snapshot().delayed_write_rate;
@@ -586,6 +593,7 @@ mod tests {
                 memtables: 1,
                 pending_compaction_bytes: pending,
                 compacted_bytes: compacted,
+                ..StallSignals::default()
             };
             c.update(&sig_p(100 << 20, 0), &opts); // enter Delay
             c.update(&sig_p(100 << 20, 1 << 20), &opts); // rate ×0.8
@@ -626,8 +634,7 @@ mod tests {
             let gentle = StallSignals {
                 l0_files: 20,
                 memtables: 1,
-                pending_compaction_bytes: 0,
-                compacted_bytes: 0,
+                ..StallSignals::default()
             };
             // Hand-roll a gentle policy by driving update with a custom policy.
             struct Gentle(u64);
@@ -657,6 +664,7 @@ mod tests {
                         memtables: 1,
                         pending_compaction_bytes: 1 << 30,
                         compacted_bytes: 1000 * (i + 1),
+                        ..StallSignals::default()
                     },
                     &opts_g,
                 );
@@ -671,6 +679,7 @@ mod tests {
                         memtables: 1,
                         pending_compaction_bytes: 1 << 30,
                         compacted_bytes: 1000 * (i + 1),
+                        ..StallSignals::default()
                     },
                     &opts,
                 );

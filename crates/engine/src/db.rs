@@ -12,6 +12,7 @@ use crate::integrity;
 use crate::iterator::{DbIterator, InternalIterator, LevelIterator, MergingIterator};
 use crate::memtable::MemTable;
 use crate::options::{DbOptions, WalRecoveryMode};
+use crate::scheduler::{BgIoLimiter, BgIoPriority};
 use crate::sst::{
     sst_file_name, verify_table_file, TableBuilder, TableOptions, TableProbe, TableReader,
 };
@@ -347,6 +348,9 @@ struct DbInner {
     table_cache: Arc<TableCache>,
     stats: Arc<DbStats>,
     controller: WriteController,
+    /// Shared background-I/O budget flushes and compactions draw from
+    /// (`bg_io_rate_bytes_per_sec`; disabled at rate 0).
+    io_limiter: BgIoLimiter,
     queue: WriteQueue,
     write_buffer_size: AtomicUsize,
     snapshots: parking_lot::Mutex<Vec<SequenceNumber>>,
@@ -432,12 +436,29 @@ impl DbInner {
             pending_compaction_bytes: version.pending_compaction_bytes(&self.effective_opts()),
             compacted_bytes: self.stats.ticker(Ticker::FlushBytes)
                 + self.stats.ticker(Ticker::CompactWriteBytes),
+            bg_io_budget_bytes_per_sec: self.io_limiter.current_rate(),
         }
     }
 
     fn update_stall_conditions(&self) {
-        let sig = self.stall_signals();
+        let mut sig = self.stall_signals();
+        // Auto-tune the background budget from the debt this update
+        // measured, so the signals handed to the throttle policy carry the
+        // budget actually in effect.
+        self.io_limiter.retune(sig.pending_compaction_bytes);
+        sig.bg_io_budget_bytes_per_sec = self.io_limiter.current_rate();
         self.controller.update(&sig, &self.effective_opts());
+    }
+
+    /// Draws `bytes` from the shared background-I/O budget and attributes
+    /// the wait to `BgIoThrottledNs` + the `bg_io_wait` histogram.
+    fn charge_bg_io(&self, bytes: u64, pri: BgIoPriority) {
+        if !self.io_limiter.enabled() {
+            return;
+        }
+        let waited = self.io_limiter.acquire(bytes, pri);
+        self.stats.add(Ticker::BgIoThrottledNs, waited);
+        self.stats.bg_io_wait.record(waited);
     }
 
     fn schedule_flush(&self) {
@@ -713,6 +734,9 @@ impl DbInner {
                 return Err(e);
             }
         };
+        // Settle the flush's bytes against the shared background budget at
+        // flush priority: queued compactions must leave room for it.
+        self.charge_bg_io(props.file_size, BgIoPriority::Flush);
 
         // Install.
         self.install_lock.acquire(1);
@@ -772,11 +796,23 @@ impl DbInner {
             let version = self.versions.current();
             let in_progress = self.in_compaction.lock();
             let mut cursors = self.cursors.lock();
-            pick_compaction(&version, &effective, &in_progress, &mut cursors)
+            pick_compaction(
+                &version,
+                &effective,
+                &in_progress,
+                &mut cursors,
+                &*self.opts.compaction_scheduler,
+            )
         };
         let Some(task) = task else {
             return Ok(false);
         };
+        match self.opts.compaction_scheduler.name() {
+            "greedy" => self.stats.bump(Ticker::CompactionsScheduledGreedy),
+            "round-robin" => self.stats.bump(Ticker::CompactionsScheduledRoundRobin),
+            "fair" => self.stats.bump(Ticker::CompactionsScheduledFair),
+            _ => {}
+        }
         {
             let mut in_progress = self.in_compaction.lock();
             for n in task.input_numbers() {
@@ -791,6 +827,13 @@ impl DbInner {
             .min()
             .copied()
             .unwrap_or_else(|| self.versions.last_sequence());
+        // A real merge reads every input byte; settle that against the
+        // shared budget before touching the device (trivial moves are
+        // metadata-only and free). Compaction priority: any flush that has
+        // registered bytes overtakes us at the bucket.
+        if !task.is_trivial_move {
+            self.charge_bg_io(task.input_bytes(), BgIoPriority::Compaction);
+        }
         let inner = Arc::clone(self);
         let result = run_compaction(
             &task,
@@ -812,6 +855,11 @@ impl DbInner {
                 return Err(e);
             }
         };
+        if !task.is_trivial_move {
+            // …and the bytes the merge wrote back out.
+            let out_bytes: u64 = edit.added.iter().map(|(_, f)| f.file_size).sum();
+            self.charge_bg_io(out_bytes, BgIoPriority::Compaction);
+        }
         self.install_lock.acquire(1);
         let install = self.versions.log_and_apply(edit);
         self.install_lock.release(1);
@@ -1338,8 +1386,16 @@ impl Db {
 
         let controller = WriteController::new(&opts);
         controller.attach_accounting(Arc::clone(&stats.stall));
+        // Auto-tune reference: debt equal to 4× the L1 target doubles the
+        // budget; the scale caps at 4× base (see `BgIoLimiter::retune`).
+        let io_limiter = BgIoLimiter::new(
+            opts.bg_io_rate_bytes_per_sec,
+            opts.bg_io_auto_tune
+                .then(|| 4 * opts.max_bytes_for_level_base),
+        );
         let inner = Arc::new(DbInner {
             controller,
+            io_limiter,
             queue: WriteQueue::new(opts.pipelined_write, opts.max_write_batch_group_size)
                 .with_concurrent_apply(
                     opts.allow_concurrent_memtable_write,
@@ -2105,6 +2161,13 @@ impl Db {
             write_group_batches: stats.write_group_batches.summary(),
             write_group_bytes: stats.write_group_bytes.summary(),
             scrub_pass: stats.scrub_pass.summary(),
+            bg_io_wait: stats.bg_io_wait.summary(),
+            compaction_debt_bytes: self
+                .inner
+                .versions
+                .current()
+                .pending_compaction_bytes(&self.inner.effective_opts()),
+            bg_io_budget_bytes_per_sec: self.inner.io_limiter.current_rate(),
             wal_append: stats.wal_append.summary(),
             flush_duration: stats.flush_duration.summary(),
             compaction_duration: stats.compaction_duration.summary(),

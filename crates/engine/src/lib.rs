@@ -13,6 +13,11 @@
 //!   [`compaction`]);
 //! * the **write controller of Algorithm 1** ([`controller`]) with a
 //!   pluggable [`controller::ThrottlePolicy`];
+//! * **pluggable compaction scheduling** ([`scheduler`]): greedy /
+//!   round-robin / fair (deficit-based) level pickers behind
+//!   [`scheduler::CompactionScheduler`], plus a shared background-I/O
+//!   token bucket ([`scheduler::BgIoLimiter`]) with flush priority and
+//!   debt-scaled auto-tuning;
 //! * the **pipelined write path of Algorithm 2** ([`mod@write`]): one writer
 //!   queue, leader-selected batch groups, optional WAL/memtable pipelining;
 //! * **cross-layer stall accounting** ([`stall`]): per-op write-latency
@@ -61,6 +66,7 @@ pub mod iterator;
 pub mod memtable;
 pub mod options;
 pub mod repair;
+pub mod scheduler;
 pub mod sst;
 pub mod stall;
 pub mod stats;
@@ -78,8 +84,13 @@ pub use histogram::{Histogram, HistogramSummary};
 pub use memtable::MemTable;
 pub use options::{DbOptions, WalRecoveryMode};
 pub use repair::{repair_db, RepairReport};
+pub use scheduler::{
+    BgIoLimiter, BgIoPriority, CompactionScheduler, FairScheduler, GreedyScheduler,
+    RoundRobinScheduler,
+};
 pub use stall::{
-    PreprocessStalls, StallAccounting, StallCause, StallEvent, StallTotals, WriteBreakdown,
+    episode_durations, PreprocessStalls, StallAccounting, StallCause, StallEvent, StallTotals,
+    WriteBreakdown,
 };
 pub use stats::{DbStats, Metrics, Ticker, TickerSnapshot};
 pub use types::SequenceNumber;

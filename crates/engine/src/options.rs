@@ -3,6 +3,7 @@
 
 use crate::compress::CompressionType;
 use crate::controller::{OriginalThrottlePolicy, ThrottlePolicy};
+use crate::scheduler::{CompactionScheduler, GreedyScheduler};
 use std::fmt;
 use std::sync::Arc;
 use xlsm_simfs::SimFs;
@@ -167,6 +168,22 @@ pub struct DbOptions {
     /// Throttling policy (Algorithm 1 by default; the two-stage case study
     /// installs a different one).
     pub throttle_policy: Arc<dyn ThrottlePolicy>,
+    /// Which level the next compaction services (RocksDB `CompactionPri`
+    /// family, lifted to a pluggable strategy): greedy max-score by
+    /// default; round-robin and fair/deficit pickers ship in
+    /// [`crate::scheduler`]. Schedulers are stateful — construct a fresh
+    /// instance per database rather than sharing one `Arc` across
+    /// databases.
+    pub compaction_scheduler: Arc<dyn CompactionScheduler>,
+    /// Shared background-I/O budget in bytes per (virtual) second drawn by
+    /// flushes and compactions together, with flush priority — RocksDB's
+    /// `rate_limiter`. `0` disables throttling.
+    pub bg_io_rate_bytes_per_sec: u64,
+    /// Auto-tune the background budget with measured compaction debt:
+    /// `rate = base × (1 + min(debt / (4 × max_bytes_for_level_base), 3))`,
+    /// re-evaluated on every write-controller update. Requires
+    /// `bg_io_rate_bytes_per_sec > 0`.
+    pub bg_io_auto_tune: bool,
     /// Verify data integrity aggressively and escalate detected corruption
     /// in background jobs to a hard error (read-only mode) — RocksDB's
     /// `paranoid_checks`. When false, a corrupt compaction input aborts
@@ -231,6 +248,9 @@ impl fmt::Debug for DbOptions {
             .field("protection_bytes_per_key", &self.protection_bytes_per_key)
             .field("paranoid_file_checks", &self.paranoid_file_checks)
             .field("scrub_rate_bytes_per_sec", &self.scrub_rate_bytes_per_sec)
+            .field("compaction_scheduler", &self.compaction_scheduler.name())
+            .field("bg_io_rate_bytes_per_sec", &self.bg_io_rate_bytes_per_sec)
+            .field("bg_io_auto_tune", &self.bg_io_auto_tune)
             .finish_non_exhaustive()
     }
 }
@@ -275,6 +295,9 @@ impl Default for DbOptions {
             max_background_error_retries: 6,
             background_error_retry_backoff_ns: 1_000_000, // 1 ms, doubling
             throttle_policy: Arc::new(OriginalThrottlePolicy),
+            compaction_scheduler: Arc::new(GreedyScheduler),
+            bg_io_rate_bytes_per_sec: 0,
+            bg_io_auto_tune: false,
             wal_fs: None,
             db_path: "db".to_owned(),
         }
@@ -336,6 +359,12 @@ impl DbOptions {
         }
         if !crate::integrity::VALID_PROTECTION_WIDTHS.contains(&self.protection_bytes_per_key) {
             return Err("protection_bytes_per_key must be 0, 1, 2, 4, or 8".into());
+        }
+        if self.bg_io_rate_bytes_per_sec != 0 && self.bg_io_rate_bytes_per_sec < 64 << 10 {
+            return Err("bg_io_rate_bytes_per_sec must be 0 (off) or >= 64 KiB/s".into());
+        }
+        if self.bg_io_auto_tune && self.bg_io_rate_bytes_per_sec == 0 {
+            return Err("bg_io_auto_tune requires bg_io_rate_bytes_per_sec > 0".into());
         }
         Ok(())
     }
@@ -436,6 +465,28 @@ mod tests {
             ..DbOptions::default()
         };
         ok.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_enforces_bg_io_budget_invariants() {
+        let bad_rate = DbOptions {
+            bg_io_rate_bytes_per_sec: 1024,
+            ..DbOptions::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let tune_without_budget = DbOptions {
+            bg_io_auto_tune: true,
+            ..DbOptions::default()
+        };
+        assert!(tune_without_budget.validate().is_err());
+        let ok = DbOptions {
+            bg_io_rate_bytes_per_sec: 64 << 20,
+            bg_io_auto_tune: true,
+            compaction_scheduler: Arc::new(crate::scheduler::FairScheduler::default()),
+            ..DbOptions::default()
+        };
+        ok.validate().unwrap();
+        assert_eq!(ok.compaction_scheduler.name(), "fair");
     }
 
     #[test]

@@ -166,6 +166,47 @@ impl StallTotals {
     }
 }
 
+/// Reconstructs stall-*episode* durations from a drained event log.
+///
+/// An episode is a maximal contiguous span in which the controller sat at
+/// any non-`Clear` level (transitions between `GentleDelay`/`Delay`/`Stop`
+/// and rate adaptations do not break it). Events must be in `at` order, as
+/// [`StallAccounting::drain_events`] returns them. An episode still open at
+/// `window_end` is closed there; an episode already open before the first
+/// event is reconstructed from that event's `duration` and clamped to
+/// `window_start`. This is the quantity behind the stability bench's
+/// stall-episode CDFs: per-*transition* durations understate tails because
+/// one long episode can span many transitions.
+pub fn episode_durations(
+    events: &[StallEvent],
+    window_start: Nanos,
+    window_end: Nanos,
+) -> Vec<Nanos> {
+    let mut episodes = Vec::new();
+    let mut open: Option<Nanos> = None;
+    for ev in events {
+        if open.is_none() && ev.prev_level != StallLevel::Clear {
+            // Already stalled before this event: recover the episode start
+            // from the time spent at prev_level.
+            open = Some(ev.at.saturating_sub(ev.duration).max(window_start));
+        }
+        match (open, ev.level) {
+            (Some(start), StallLevel::Clear) => {
+                episodes.push(ev.at.saturating_sub(start));
+                open = None;
+            }
+            (None, level) if level != StallLevel::Clear => {
+                open = Some(ev.at);
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = open {
+        episodes.push(window_end.saturating_sub(start));
+    }
+    episodes
+}
+
 /// The registry: per-op component totals plus the stall-event ring buffer.
 pub struct StallAccounting {
     ops: AtomicU64,
@@ -347,6 +388,35 @@ mod tests {
         );
         assert_eq!(acc.pending_events(), 0);
         assert!(acc.drain_events().is_empty());
+    }
+
+    #[test]
+    fn episodes_span_internal_transitions() {
+        let mk = |at, prev, level, duration| StallEvent {
+            at,
+            cause: StallCause::L0Slowdown,
+            level,
+            prev_level: prev,
+            duration,
+            l0_files: 21,
+            memtables: 1,
+            rate: 1 << 20,
+        };
+        use StallLevel::{Clear, Delay, Stop};
+        // Clear→Delay at 100, Delay→Stop at 250, Stop→Clear at 400:
+        // one 300 ns episode. Then Clear→Delay at 900, still open at 1000.
+        let events = vec![
+            mk(100, Clear, Delay, 100),
+            mk(250, Delay, Stop, 150),
+            mk(400, Stop, Clear, 150),
+            mk(900, Clear, Delay, 500),
+        ];
+        assert_eq!(episode_durations(&events, 0, 1000), vec![300, 100]);
+        // A window that opens mid-episode: the first event's duration
+        // back-dates the start, clamped to the window.
+        let tail = vec![mk(400, Stop, Clear, 150)];
+        assert_eq!(episode_durations(&tail, 300, 1000), vec![100]);
+        assert_eq!(episode_durations(&[], 0, 1000), Vec::<Nanos>::new());
     }
 
     #[test]

@@ -82,6 +82,15 @@ pub enum Ticker {
     ScrubBytesVerified,
     /// Checksum mismatches the background scrubber found in live files.
     ScrubCorruptionsFound,
+    /// Compactions dispatched by the greedy (max-score) scheduler.
+    CompactionsScheduledGreedy,
+    /// Compactions dispatched by the round-robin scheduler.
+    CompactionsScheduledRoundRobin,
+    /// Compactions dispatched by the fair (deficit-based) scheduler.
+    CompactionsScheduledFair,
+    /// Virtual nanoseconds background jobs spent waiting on the shared
+    /// background-I/O budget (`bg_io_rate_bytes_per_sec`).
+    BgIoThrottledNs,
     TickerCount, // sentinel
 }
 
@@ -117,6 +126,10 @@ pub struct DbStats {
     /// reset with the warm-up window: passes are long-lived and a reset
     /// mid-pass would discard the only samples.
     pub scrub_pass: Histogram,
+    /// Per-acquire waits on the shared background-I/O budget (ns); empty
+    /// while `bg_io_rate_bytes_per_sec` is 0. Like the other background
+    /// histograms, not reset with the warm-up window.
+    pub bg_io_wait: Histogram,
     /// Cross-layer write-stall accounting (per-op breakdowns + the
     /// controller-transition event log).
     pub stall: Arc<StallAccounting>,
@@ -150,6 +163,7 @@ impl DbStats {
             write_group_batches: Histogram::new(),
             write_group_bytes: Histogram::new(),
             scrub_pass: Histogram::new(),
+            bg_io_wait: Histogram::new(),
             stall: Arc::new(StallAccounting::default()),
             waiting_writers: AtomicU64::new(0),
             waiting_sum: AtomicU64::new(0),
@@ -269,6 +283,15 @@ pub struct Metrics {
     /// Completed background scrub passes (duration per full sweep of the
     /// live file set).
     pub scrub_pass: HistogramSummary,
+    /// Waits on the shared background-I/O budget (per acquire, ns).
+    pub bg_io_wait: HistogramSummary,
+    /// Estimated bytes awaiting compaction right now — the scheduler's
+    /// debt input (from `Version::pending_compaction_bytes`).
+    pub compaction_debt_bytes: u64,
+    /// Background-I/O budget currently in effect, bytes per virtual second
+    /// (0 = unthrottled; differs from the configured base when auto-tune
+    /// has scaled it with debt).
+    pub bg_io_budget_bytes_per_sec: u64,
     /// Average queued writer threads (Fig. 16 metric).
     pub avg_waiting_writers: f64,
     /// Aggregate per-op stall breakdown totals.

@@ -139,18 +139,26 @@ impl Version {
         groups
     }
 
-    /// Compaction score per RocksDB's leveled policy: L0 by file count,
-    /// deeper levels by size vs. target. Returns `(level, score)` of the
-    /// neediest level; a score ≥ 1.0 warrants compaction.
+    /// Compaction score per level, RocksDB's leveled policy: L0 by file
+    /// count vs. trigger, deeper levels by size vs. target. The last level
+    /// has no target (it only receives) so its score is always 0. This is
+    /// the input a [`CompactionScheduler`](crate::scheduler::CompactionScheduler)
+    /// picks from; a score ≥ 1.0 warrants compaction.
+    pub fn level_scores(&self, opts: &DbOptions) -> Vec<f64> {
+        let mut scores = vec![0.0f64; self.levels.len()];
+        scores[0] = self.num_l0_files() as f64 / opts.level0_file_num_compaction_trigger as f64;
+        let deepest = self.levels.len() - 1;
+        for (level, score) in scores.iter_mut().enumerate().take(deepest).skip(1) {
+            *score = self.level_bytes(level) as f64 / opts.max_bytes_for_level(level) as f64;
+        }
+        scores
+    }
+
+    /// Returns `(level, score)` of the neediest level, ties toward the
+    /// shallower level — the greedy summary of [`Self::level_scores`].
     pub fn compaction_score(&self, opts: &DbOptions) -> (usize, f64) {
         let mut best = (0usize, 0.0f64);
-        let l0_score = self.num_l0_files() as f64 / opts.level0_file_num_compaction_trigger as f64;
-        if l0_score > best.1 {
-            best = (0, l0_score);
-        }
-        // The last level has no target; it only receives.
-        for level in 1..self.levels.len() - 1 {
-            let score = self.level_bytes(level) as f64 / opts.max_bytes_for_level(level) as f64;
+        for (level, &score) in self.level_scores(opts).iter().enumerate() {
             if score > best.1 {
                 best = (level, score);
             }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerates the committed bench artifacts (the device-parallelism probe
-# and the write-path probe). Full-size by default; XLSM_QUICK=1 for a fast
-# smoke run — note the committed BENCH_*.json files are the full-size
-# output, so don't commit a quick-mode regeneration.
+# Regenerates the committed bench artifacts (the device-parallelism,
+# write-path, read-path, and stability probes). Full-size by default;
+# XLSM_QUICK=1 for a fast smoke run — note the committed BENCH_*.json
+# files are the full-size output, so don't commit a quick-mode
+# regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +15,8 @@ cargo run -q --release -p xlsm-bench --bin writepath -- BENCH_writepath.json
 
 echo "==> readpath probe -> BENCH_readpath.json"
 cargo run -q --release -p xlsm-bench --bin readpath -- BENCH_readpath.json
+
+echo "==> stability probe -> BENCH_stability.json"
+cargo run -q --release -p xlsm-bench --bin stability -- BENCH_stability.json
 
 echo "==> done"

@@ -24,6 +24,12 @@ echo "==> corruption sweep: seeded bit flips over SST/WAL/MANIFEST, scrubber cyc
 # line is also a determinism gate.
 cargo test -q -p xlsm-engine --test integrity
 
+echo "==> scheduling suite: policy equivalence, fairness bound, I/O-budget admission"
+# every_policy_yields_byte_identical_final_state replays one op tape under
+# greedy / round-robin / fair(+limiter) scheduling and asserts an identical
+# logical database, so this line is also a determinism gate.
+cargo test -q --test scheduling
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -34,7 +40,8 @@ echo "==> determinism: parallelism probe twice with one seed, byte-identical JSO
 par_a="$(mktemp)" par_b="$(mktemp)"
 wp_a="$(mktemp)" wp_b="$(mktemp)"
 rp_a="$(mktemp)" rp_b="$(mktemp)"
-trap 'rm -f "$par_a" "$par_b" "$wp_a" "$wp_b" "$rp_a" "$rp_b"' EXIT
+st_a="$(mktemp)" st_b="$(mktemp)"
+trap 'rm -f "$par_a" "$par_b" "$wp_a" "$wp_b" "$rp_a" "$rp_b" "$st_a" "$st_b"' EXIT
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_a" >/dev/null
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin parallelism -- "$par_b" >/dev/null
 cmp "$par_a" "$par_b"
@@ -48,5 +55,10 @@ echo "==> determinism: readpath probe twice with one seed, byte-identical JSON"
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin readpath -- "$rp_a" >/dev/null
 XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin readpath -- "$rp_b" >/dev/null
 cmp "$rp_a" "$rp_b"
+
+echo "==> determinism: stability probe twice with one seed, byte-identical JSON"
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin stability -- "$st_a" >/dev/null
+XLSM_QUICK=1 cargo run -q --release -p xlsm-bench --bin stability -- "$st_b" >/dev/null
+cmp "$st_a" "$st_b"
 
 echo "==> all checks passed"
